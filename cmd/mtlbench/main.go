@@ -1,0 +1,92 @@
+// Command mtlbench regenerates the paper's tables and figures on the
+// simulated platform and prints them in paper order.
+//
+// Usage:
+//
+//	mtlbench -all                 # everything, paper methodology (20 reps)
+//	mtlbench -all -quick          # everything, 3 reps
+//	mtlbench -fig F14             # one artifact
+//	mtlbench -fig F13a -step 0.02 # denser Fig. 13 sweep
+//	mtlbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"memthrottle/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mtlbench: ")
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		fig    = flag.String("fig", "", "run one experiment by ID (e.g. F14)")
+		list   = flag.Bool("list", false, "list experiment IDs")
+		quick  = flag.Bool("quick", false, "3 repetitions instead of the paper's 20")
+		step   = flag.Float64("step", 0, "override the Fig. 13 ratio step (paper: 0.01)")
+		format = flag.String("format", "text", "output format: text | csv | json")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.Catalog() {
+			fmt.Printf("%-5s %s\n", s.ID, s.Desc)
+		}
+		return
+	}
+	if !*all && *fig == "" {
+		log.Fatal("nothing to do: pass -all, -fig ID, or -list")
+	}
+
+	t0 := time.Now()
+	env, err := experiments.DefaultEnv(*quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated platform in %v (Tm4/Tm1 = %.2f on 1 DIMM)\n\n",
+		time.Since(t0).Round(time.Millisecond),
+		float64(env.Cal1.Tm[3])/float64(env.Cal1.Tm[0]))
+
+	run := func(s experiments.Spec) {
+		t1 := time.Now()
+		var tab experiments.Table
+		if *step > 0 {
+			switch s.ID {
+			case "F13a":
+				tab = experiments.Fig13(env, 512<<10, 0.05, 4.0, *step, 64)
+			case "F13b":
+				tab = experiments.Fig13(env, 1<<20, 0.05, 4.0, *step, 64)
+			case "F13c":
+				tab = experiments.Fig13(env, 2<<20, 0.05, 4.0, *step, 64)
+			default:
+				tab = s.Run(env)
+			}
+		} else {
+			tab = s.Run(env)
+		}
+		out, err := tab.Render(*format)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+		if *format == "text" {
+			fmt.Printf("(%s finished in %v)\n\n", s.ID, time.Since(t1).Round(time.Millisecond))
+		}
+	}
+
+	if *all {
+		for _, s := range experiments.Catalog() {
+			run(s)
+		}
+		return
+	}
+	spec, ok := experiments.Find(*fig)
+	if !ok {
+		log.Fatalf("unknown experiment %q; try -list", *fig)
+	}
+	run(spec)
+}

@@ -1,0 +1,46 @@
+// Command mtlcalibrate runs the request-level DRAM model under k
+// concurrent task streams and fits the contention law
+// Tm_k = Tml + k*Tql that parameterises the fluid simulator.
+//
+// Usage:
+//
+//	mtlcalibrate [-channels N] [-maxk K] [-footprint BYTES] [-tasks T]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"memthrottle/internal/contend"
+	"memthrottle/internal/mem"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mtlcalibrate: ")
+	channels := flag.Int("channels", 1, "memory channels (1 = paper's 1-DIMM, 2 = 2-DIMM)")
+	maxK := flag.Int("maxk", 8, "maximum concurrent streams to measure")
+	footprint := flag.Int("footprint", 512<<10, "bytes per memory task")
+	tasks := flag.Int("tasks", 6, "tasks per stream (first is warm-up)")
+	flag.Parse()
+
+	cfg := mem.DDR3_1066().WithChannels(*channels)
+	fmt.Printf("platform: %d channel(s), %.2f GB/s total, %d banks/channel\n",
+		cfg.Channels, cfg.TotalBandwidth()/1e9, cfg.RanksPerChannel*cfg.BanksPerRank)
+
+	cal, err := mem.Calibrate(cfg, *maxK, *tasks, *footprint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-4s %14s %14s\n", "k", "measured (us)", "fit (us)")
+	for k := 1; k <= len(cal.Tm); k++ {
+		fmt.Printf("%-4d %14.2f %14.2f\n", k, cal.Tm[k-1].Micros(), cal.TmK(k).Micros())
+	}
+	fmt.Printf("\nfit: Tml = %.2f us, Tql = %.2f us per concurrent task (R2 = %.3f)\n",
+		cal.Tml.Micros(), cal.Tql.Micros(), cal.R2)
+	fmt.Printf("contention ratio Tm%d/Tm1 = %.2f\n",
+		len(cal.Tm), float64(cal.Tm[len(cal.Tm)-1])/float64(cal.Tm[0]))
+	p := contend.FromCalibration(cal)
+	fmt.Printf("fluid params: tml = %.3g s/B, tql = %.3g s/B\n", p.TmlPerByte, p.TqlPerByte)
+}

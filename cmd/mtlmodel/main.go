@@ -1,0 +1,63 @@
+// Command mtlmodel prints the analytical model's closed-form speedup
+// curve (the model-only Fig. 13): no simulation runs, just Equation 1
+// and the §IV-A speedup formulas over the linear contention law. By
+// default the law comes from a fresh DRAM calibration; pass -tml/-tql
+// (microseconds) to explore other machines.
+//
+// Usage:
+//
+//	mtlmodel                       # calibrated law, quad-core
+//	mtlmodel -n 8 -tml 100 -tql 40 # hypothetical 8-core machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"memthrottle/internal/core"
+	"memthrottle/internal/mem"
+	"memthrottle/internal/sim"
+	"memthrottle/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mtlmodel: ")
+	var (
+		n    = flag.Int("n", 4, "cores (hardware threads)")
+		tml  = flag.Float64("tml", 0, "contention-free memory-task time (us); 0 = calibrate")
+		tql  = flag.Float64("tql", 0, "queueing latency per concurrent task (us); 0 = calibrate")
+		lo   = flag.Float64("lo", 0.05, "lowest Tm1/Tc ratio")
+		hi   = flag.Float64("hi", 4.0, "highest Tm1/Tc ratio")
+		step = flag.Float64("step", 0.05, "ratio step")
+	)
+	flag.Parse()
+
+	tmlT, tqlT := sim.Time(*tml)*sim.Microsecond, sim.Time(*tql)*sim.Microsecond
+	if *tml == 0 || *tql == 0 {
+		cal, err := mem.Calibrate(mem.DDR3_1066(), *n, 6, workload.Footprint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tmlT, tqlT = cal.Tml, cal.Tql
+		fmt.Printf("calibrated law: Tml = %.1f us, Tql = %.1f us (R2 %.3f)\n\n",
+			tmlT.Micros(), tqlT.Micros(), cal.R2)
+	}
+
+	model := core.NewModel(*n)
+	fmt.Print("region boundaries (Tm_k/Tc = k/(n-k)):")
+	for k := 1; k < *n; k++ {
+		fmt.Printf("  k=%d: %.3f", k, model.RegionBoundary(k))
+	}
+	fmt.Println()
+	fmt.Println()
+
+	pts := model.SpeedupCurve(tmlT, tqlT, *lo, *hi, *step)
+	fmt.Printf("%-8s %-6s %-9s  curve\n", "Tm1/Tc", "S-MTL", "speedup")
+	for _, p := range pts {
+		bar := strings.Repeat("#", int((p.Speedup-1)*200))
+		fmt.Printf("%-8.2f %-6d %-9.3f  |%s\n", p.Ratio, p.BestK, p.Speedup, bar)
+	}
+}

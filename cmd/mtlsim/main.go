@@ -1,0 +1,123 @@
+// Command mtlsim runs one workload on the simulated multicore under a
+// chosen throttling policy and reports timing, idle share, MTL
+// decisions and (optionally) an ASCII Gantt chart of the schedule.
+//
+// Usage:
+//
+//	mtlsim -workload synthetic -ratio 0.5 -policy dynamic
+//	mtlsim -workload sift -policy dynamic -w 16
+//	mtlsim -workload sc -dim 36 -policy static -mtl 2
+//	mtlsim -workload dft -policy conventional -gantt
+//	mtlsim -workload synthetic -ratio 1.5 -cores 8 -smt 4   (POWER7-style)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"memthrottle/internal/contend"
+	"memthrottle/internal/core"
+	"memthrottle/internal/machine"
+	"memthrottle/internal/mem"
+	"memthrottle/internal/simsched"
+	"memthrottle/internal/stream"
+	"memthrottle/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mtlsim: ")
+	var (
+		wl       = flag.String("workload", "synthetic", "workload: synthetic | dft | sc | sift")
+		ratio    = flag.Float64("ratio", 0.5, "synthetic Tm1/Tc ratio")
+		pairs    = flag.Int("pairs", 96, "synthetic task-pair count")
+		dim      = flag.Int("dim", 128, "streamcluster input dimension")
+		policy   = flag.String("policy", "dynamic", "policy: conventional | static | dynamic | online")
+		mtl      = flag.Int("mtl", 1, "MTL for the static policy")
+		w        = flag.Int("w", 16, "monitor window for adaptive policies")
+		cores    = flag.Int("cores", 4, "physical cores")
+		smt      = flag.Int("smt", 1, "hardware threads per core")
+		channels = flag.Int("channels", 1, "memory channels")
+		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		seed     = flag.Int64("seed", 1, "noise seed")
+	)
+	flag.Parse()
+
+	cal, err := mem.Calibrate(mem.DDR3_1066().WithChannels(*channels), *cores**smt, 6, workload.Footprint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := contend.FromCalibration(cal)
+	lib := workload.NewLibrary(params)
+
+	var prog *stream.Program
+	switch *wl {
+	case "synthetic":
+		prog = lib.Synthetic(*ratio, workload.Footprint, *pairs)
+	case "dft":
+		prog = lib.DFT()
+	case "sc":
+		prog = lib.Streamcluster(*dim)
+	case "sift":
+		prog = lib.SIFT()
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+
+	cfg := simsched.Default(params)
+	cfg.Machine = machine.Config{Cores: *cores, SMTWays: *smt}
+	cfg.NoiseSigma = 0.003
+	cfg.Seed = *seed
+	cfg.RecordTrace = *gantt
+	n := cfg.Machine.HardwareThreads()
+
+	mkPolicy := func(name string) core.Throttler {
+		switch name {
+		case "conventional":
+			return core.Fixed{K: n}
+		case "static":
+			return core.Fixed{K: *mtl}
+		case "dynamic":
+			return core.NewDynamic(core.NewModel(n), *w)
+		case "online":
+			return core.NewOnlineExhaustive(core.NewModel(n), *w, 0.10)
+		default:
+			log.Fatalf("unknown policy %q", name)
+			return nil
+		}
+	}
+
+	res := simsched.Run(prog, cfg, mkPolicy(*policy))
+	base := simsched.Run(prog, cfg, core.Fixed{K: n})
+
+	fmt.Printf("workload : %s (%d pairs, %d phases)\n", prog.Name, prog.TotalPairs(), len(prog.Phases))
+	fmt.Printf("machine  : %d cores x %d SMT, %d channel(s)\n", *cores, *smt, *channels)
+	fmt.Printf("policy   : %s\n", res.Policy)
+	fmt.Printf("time     : %v  (conventional: %v, speedup %.3fx)\n",
+		res.TotalTime, base.TotalTime, float64(base.TotalTime)/float64(res.TotalTime))
+	fmt.Printf("idle     : %.1f%% of thread-time\n",
+		100*float64(res.IdleTime)/(float64(res.TotalTime)*float64(n)))
+	fmt.Printf("final MTL: %d", res.FinalMTL)
+	if len(res.MTLDecisions) > 0 {
+		fmt.Printf("  (decisions: %v)", res.MTLDecisions)
+	}
+	fmt.Println()
+	if len(res.PhaseTimes) > 1 {
+		fmt.Println("phases:")
+		for i, pt := range res.PhaseTimes {
+			fmt.Printf("  %-14s %12v  MTL=%d\n", prog.Phases[i].Name, pt, res.PhaseMTL[i])
+		}
+	}
+	if res.MonitoredPairs > 0 {
+		fmt.Printf("monitoring: %d pairs, %.3f%% overhead\n",
+			res.MonitoredPairs, 100*float64(res.OverheadTime)/float64(res.TotalTime))
+	}
+	if res.CacheMissFraction > 0 {
+		fmt.Printf("LLC overflow: %.1f%% mean compute miss fraction\n", 100*res.CacheMissFraction)
+	}
+	if *gantt {
+		fmt.Println("\nschedule (M = memory task, C = compute):")
+		fmt.Print(res.Timeline.Gantt(100))
+	}
+}

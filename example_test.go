@@ -1,0 +1,63 @@
+package memthrottle_test
+
+import (
+	"fmt"
+
+	"memthrottle"
+)
+
+// The analytical model alone answers the paper's central question:
+// does MTL=k leave cores idle, and what speedup does it buy?
+func ExampleModel() {
+	model := memthrottle.NewModel(4)
+
+	// dft-like: Tm1/Tc = 0.13 — all cores stay busy even at MTL=1.
+	tm1 := 130 * memthrottle.Microsecond
+	tc := 1000 * memthrottle.Microsecond
+	fmt.Println("IdleBound:", model.IdleBound(tm1, tc))
+
+	// streamcluster-like: Tm1/Tc = 0.52 — MTL=1 would idle cores.
+	fmt.Println("IdleBound:", model.IdleBound(520*memthrottle.Microsecond, tc))
+
+	// Output:
+	// IdleBound: 1
+	// IdleBound: 2
+}
+
+// A complete simulated comparison: conventional scheduling vs the
+// dynamic throttling mechanism on a synthetic stream workload.
+func ExampleSimulate() {
+	cal, err := memthrottle.Calibrate(memthrottle.DDR3(), 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	params := memthrottle.ParamsFrom(cal)
+	prog := memthrottle.NewWorkloads(params).Synthetic(0.33, 512<<10, 96)
+	cfg := memthrottle.DefaultSimConfig(params)
+
+	conv := memthrottle.Simulate(prog, cfg, memthrottle.ConventionalPolicy(4))
+	dyn := memthrottle.Simulate(prog, cfg, memthrottle.DynamicPolicy(4, 8))
+
+	fmt.Println("pairs:", dyn.PairsCompleted)
+	fmt.Println("dynamic beats conventional:", dyn.TotalTime < conv.TotalTime)
+	fmt.Println("final MTL:", dyn.FinalMTL)
+	// Output:
+	// pairs: 96
+	// dynamic beats conventional: true
+	// final MTL: 1
+}
+
+// Custom programs are built phase by phase; the mechanism adapts at
+// each phase change.
+func ExampleBuildProgram() {
+	prog := memthrottle.BuildProgram("two-phase",
+		memthrottle.PhaseSpec{Name: "scan", Pairs: 32, MemBytes: 512 << 10,
+			ComputeTime: 200 * memthrottle.Microsecond},
+		memthrottle.PhaseSpec{Name: "reduce", Pairs: 32, MemBytes: 512 << 10,
+			ComputeTime: 2 * memthrottle.Millisecond},
+	)
+	fmt.Println(prog.Name, len(prog.Phases), prog.TotalPairs())
+	// Output:
+	// two-phase 2 64
+}

@@ -1,0 +1,58 @@
+// Imagepipeline: a multi-phase image-processing pipeline in the
+// gather-compute-scatter style — the workload class (SIFT, jpeg/mpeg,
+// convolution kernels) the paper's introduction motivates. Phases
+// alternate between memory-bound resampling and compute-bound
+// filtering; the dynamic mechanism must re-detect the phase and move
+// the MTL each time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memthrottle"
+)
+
+func main() {
+	log.SetFlags(0)
+	cal, err := memthrottle.Calibrate(memthrottle.DDR3(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := memthrottle.ParamsFrom(cal)
+
+	// Compute durations are expressed against Tm1 for a 512 KB tile,
+	// giving each stage a definite memory-to-compute ratio.
+	tile := 512 << 10
+	tm1 := float64(params.TaskTime(float64(tile), 1))
+	stage := func(name string, pairs int, ratio float64) memthrottle.PhaseSpec {
+		return memthrottle.PhaseSpec{
+			Name:        name,
+			Pairs:       pairs,
+			MemBytes:    float64(tile),
+			ComputeTime: memthrottle.Time(tm1 / ratio),
+		}
+	}
+	pipeline := memthrottle.BuildProgram("image-pipeline",
+		stage("decode", 64, 0.25),      // compute-bound entropy decode
+		stage("upsample", 96, 0.85),    // memory-bound resampling
+		stage("convolve5x5", 128, 0.1), // heavy compute per tile
+		stage("downsample", 96, 0.9),   // memory-bound again
+		stage("sharpen", 64, 0.3),      // moderate
+	)
+
+	cfg := memthrottle.DefaultSimConfig(params)
+	conventional := memthrottle.Simulate(pipeline, cfg, memthrottle.ConventionalPolicy(4))
+	dynamic := memthrottle.Simulate(pipeline, cfg, memthrottle.DynamicPolicy(4, 8))
+
+	fmt.Printf("pipeline: %d phases, %d tile pairs\n\n", len(pipeline.Phases), pipeline.TotalPairs())
+	fmt.Printf("%-14s %14s %14s %8s\n", "stage", "conv time", "dynamic time", "D-MTL")
+	for i := range pipeline.Phases {
+		fmt.Printf("%-14s %14v %14v %8d\n", pipeline.Phases[i].Name,
+			conventional.PhaseTimes[i], dynamic.PhaseTimes[i], dynamic.PhaseMTL[i])
+	}
+	fmt.Printf("\ntotal: %v -> %v  (speedup %.3fx, %d MTL decisions %v)\n",
+		conventional.TotalTime, dynamic.TotalTime,
+		float64(conventional.TotalTime)/float64(dynamic.TotalTime),
+		len(dynamic.MTLDecisions), dynamic.MTLDecisions)
+}

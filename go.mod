@@ -1,0 +1,3 @@
+module memthrottle
+
+go 1.22

@@ -1,0 +1,94 @@
+package host
+
+import "fmt"
+
+// ArraySet is a ready-made stream workload over real slices in the
+// Fig. 12 style: each pair's memory task streams a disjoint array
+// through the cache (sequential stores), and its compute task revisits
+// the array a configurable number of times. The compute-passes knob is
+// the paper's "count" variable: it sets the memory-to-compute ratio.
+//
+// ArraySet exists so adopters (and the examples) can exercise the
+// runtime on genuine memory traffic without writing task closures by
+// hand, and so tests can verify end-to-end dataflow through checksums.
+type ArraySet struct {
+	data [][]int64
+	sums []int64
+	gen  int64
+}
+
+// NewArraySet allocates `pairs` disjoint arrays of footprintBytes each.
+func NewArraySet(pairs, footprintBytes int) (*ArraySet, error) {
+	if pairs < 1 {
+		return nil, fmt.Errorf("host: NewArraySet pairs = %d, want >= 1", pairs)
+	}
+	words := footprintBytes / 8
+	if words < 1 {
+		return nil, fmt.Errorf("host: NewArraySet footprint %d below one word", footprintBytes)
+	}
+	a := &ArraySet{
+		data: make([][]int64, pairs),
+		sums: make([]int64, pairs),
+	}
+	for i := range a.data {
+		a.data[i] = make([]int64, words)
+	}
+	return a, nil
+}
+
+// Len reports the number of pairs.
+func (a *ArraySet) Len() int { return len(a.data) }
+
+// Pairs builds one phase of runnable pairs. Each call advances a
+// generation counter so the memory tasks write fresh values and
+// checksums distinguish runs. computePasses >= 1 controls how much
+// compute revisits the gathered data.
+func (a *ArraySet) Pairs(computePasses int) ([]Pair, error) {
+	if computePasses < 1 {
+		return nil, fmt.Errorf("host: Pairs computePasses = %d, want >= 1", computePasses)
+	}
+	a.gen++
+	gen := a.gen
+	out := make([]Pair, len(a.data))
+	for i := range out {
+		buf := a.data[i]
+		i := i
+		out[i] = Pair{
+			Memory: func() {
+				for j := range buf {
+					buf[j] = int64(j) + gen
+				}
+			},
+			Compute: func() {
+				var acc int64
+				for p := 0; p < computePasses; p++ {
+					for _, v := range buf {
+						acc += v
+					}
+				}
+				a.sums[i] = acc
+			},
+		}
+	}
+	return out, nil
+}
+
+// ExpectedSum reports the checksum every compute task must produce for
+// the current generation and the given passes.
+func (a *ArraySet) ExpectedSum(computePasses int) int64 {
+	n := int64(len(a.data[0]))
+	base := n * (n - 1) / 2 // sum of 0..n-1
+	return int64(computePasses) * (base + n*a.gen)
+}
+
+// Verify checks that every pair's compute task observed its fully
+// gathered array — the dataflow guarantee of the runtime.
+func (a *ArraySet) Verify(computePasses int) error {
+	want := a.ExpectedSum(computePasses)
+	for i, got := range a.sums {
+		if got != want {
+			return fmt.Errorf("host: pair %d checksum %d, want %d (compute ran on stale data?)", i, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package host
+
+import "testing"
+
+func TestArraySetValidation(t *testing.T) {
+	if _, err := NewArraySet(0, 1024); err == nil {
+		t.Error("0 pairs accepted")
+	}
+	if _, err := NewArraySet(4, 4); err == nil {
+		t.Error("sub-word footprint accepted")
+	}
+	a, err := NewArraySet(4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 4 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	if _, err := a.Pairs(0); err == nil {
+		t.Error("0 passes accepted")
+	}
+}
+
+// End-to-end dataflow: every compute must see its own, fully gathered
+// array under throttled scheduling.
+func TestArraySetDataflowUnderThrottling(t *testing.T) {
+	a, err := NewArraySet(24, 32*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{Workers: 4, Policy: Static, MTL: 1, W: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const passes = 3
+	pairs, err := a.Pairs(passes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(passes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Generations: a second phase over the same arrays produces a new
+// expected checksum, catching stale-data bugs across phases.
+func TestArraySetGenerations(t *testing.T) {
+	a, err := NewArraySet(6, 8*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{Workers: 2, Policy: Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	first := a.ExpectedSum(1) // gen 0 baseline (before any Pairs call)
+	for phase := 0; phase < 3; phase++ {
+		pairs, err := a.Pairs(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(pairs); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Verify(1); err != nil {
+			t.Fatalf("phase %d: %v", phase, err)
+		}
+	}
+	if a.ExpectedSum(1) == first {
+		t.Error("generation counter did not advance")
+	}
+}
+
+func BenchmarkHostRuntimeThroughput(b *testing.B) {
+	a, err := NewArraySet(32, 64*1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := New(Config{Workers: 4, Policy: Static, MTL: 2, W: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs, err := a.Pairs(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rt.Run(pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

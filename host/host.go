@@ -1,0 +1,434 @@
+// Package host is the real-machine implementation of the paper's
+// run-time memory thread throttling (§V): a pool of worker goroutines
+// executes user-supplied memory/compute task pairs from a work queue,
+// a lock and a counter enforce the Memory Task Limit, and the same
+// controllers that drive the simulator (internal/core) retarget the
+// MTL from live task timings.
+//
+// Unlike the paper's pthread runtime, goroutines cannot be pinned to
+// cores portably — the Go scheduler multiplexes them — so wall-clock
+// speedups depend on the host memory system and are not asserted by
+// the test suite; the simulator is the quantitative substrate. The
+// throttling semantics (never more than MTL memory tasks in flight,
+// dependency order, per-pair monitoring, dynamic adaptation) are
+// identical and are tested here.
+package host
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"memthrottle/internal/core"
+)
+
+// Pair is one gather-compute(-scatter) work unit. Memory should move
+// the pair's footprint toward the cache (the paper uses prefetch
+// loops); Compute consumes it; Scatter optionally writes results back.
+// Memory and Scatter count against the MTL; Compute does not.
+type Pair struct {
+	Memory  func()
+	Compute func()
+	Scatter func() // optional
+}
+
+// Policy selects the throttling controller.
+type Policy int
+
+const (
+	// Conventional runs without throttling (MTL = workers).
+	Conventional Policy = iota
+	// Static enforces a fixed MTL (Config.MTL).
+	Static
+	// Dynamic runs the paper's mechanism: phase detection plus
+	// binary-search MTL selection.
+	Dynamic
+	// OnlineExhaustive runs the naive baseline (§V).
+	OnlineExhaustive
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Conventional:
+		return "conventional"
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case OnlineExhaustive:
+		return "online-exhaustive"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers is the number of worker goroutines (the paper spawns
+	// one thread per core). Default: runtime.GOMAXPROCS(0).
+	Workers int
+	// Policy selects the controller. Default: Dynamic.
+	Policy Policy
+	// MTL is the fixed limit for the Static policy.
+	MTL int
+	// W is the monitor window for adaptive policies. Default: 16.
+	W int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.W == 0 {
+		c.W = 16
+	}
+	return c
+}
+
+// validate reports a configuration error.
+func (c Config) validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("host: Workers = %d, want >= 1", c.Workers)
+	}
+	if c.W < 1 {
+		return fmt.Errorf("host: W = %d, want >= 1", c.W)
+	}
+	if c.Policy == Static && (c.MTL < 1 || c.MTL > c.Workers) {
+		return fmt.Errorf("host: static MTL = %d, want within [1, %d]", c.MTL, c.Workers)
+	}
+	if c.Policy != Static && c.MTL != 0 {
+		return fmt.Errorf("host: MTL set with non-static policy %v", c.Policy)
+	}
+	if (c.Policy == Dynamic || c.Policy == OnlineExhaustive) && c.Workers < 2 {
+		return fmt.Errorf("host: adaptive policies need >= 2 workers")
+	}
+	return nil
+}
+
+// Stats summarises one Run.
+type Stats struct {
+	Elapsed        time.Duration
+	Pairs          int
+	FinalMTL       int
+	MTLDecisions   []int
+	MeanTm         time.Duration // mean memory-task duration
+	MeanTc         time.Duration // mean compute-task duration
+	MaxConcurrentM int           // observed peak concurrent memory tasks
+}
+
+// Runtime schedules pairs under MTL throttling.
+type Runtime struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	th        core.Throttler
+	activeMem int
+	peakMem   int
+	closed    bool
+}
+
+// New builds a runtime. The controller persists across Run calls, so
+// phase history carries over exactly as in the paper's long-running
+// applications.
+func New(cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Runtime{cfg: cfg}
+	r.cond = sync.NewCond(&r.mu)
+	switch cfg.Policy {
+	case Conventional:
+		r.th = core.Fixed{K: cfg.Workers}
+	case Static:
+		r.th = core.Fixed{K: cfg.MTL}
+	case Dynamic:
+		r.th = core.NewDynamic(core.NewModel(cfg.Workers), cfg.W)
+	case OnlineExhaustive:
+		r.th = core.NewOnlineExhaustive(core.NewModel(cfg.Workers), cfg.W, 0.10)
+	default:
+		return nil, fmt.Errorf("host: unknown policy %v", cfg.Policy)
+	}
+	return r, nil
+}
+
+// MTL reports the currently enforced limit.
+func (r *Runtime) MTL() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.th.MTL()
+}
+
+// Close marks the runtime closed; subsequent Run calls fail.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+}
+
+// job is one schedulable task.
+type job struct {
+	id     int
+	pair   int
+	memory bool
+	fn     func()
+}
+
+// Run executes one phase of pairs to completion and returns its
+// statistics. Within the phase, compute tasks run after their memory
+// tasks, scatters after computes, and at most MTL memory tasks are in
+// flight. Run blocks until the phase completes (the paper's phases
+// are barrier-separated).
+func (r *Runtime) Run(pairs []Pair) (Stats, error) {
+	if len(pairs) == 0 {
+		return Stats{}, errors.New("host: Run with no pairs")
+	}
+	for i, p := range pairs {
+		if p.Memory == nil || p.Compute == nil {
+			return Stats{}, fmt.Errorf("host: pair %d missing memory or compute task", i)
+		}
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return Stats{}, errors.New("host: runtime closed")
+	}
+	r.peakMem = 0
+	r.mu.Unlock()
+
+	ph := &phase{
+		rt:       r,
+		pairs:    pairs,
+		tmDur:    make([]time.Duration, len(pairs)),
+		start:    time.Now(),
+		remain:   0,
+		readyMem: nil,
+	}
+	for i := range pairs {
+		ph.remain += 2
+		if pairs[i].Scatter != nil {
+			ph.remain++
+		}
+		ph.readyMem = append(ph.readyMem, &job{id: 3 * i, pair: i, memory: true, fn: pairs[i].Memory})
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ph.work()
+		}()
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ph.err != nil {
+		return Stats{}, ph.err
+	}
+	st := Stats{
+		Elapsed:        time.Since(ph.start),
+		Pairs:          len(pairs),
+		FinalMTL:       r.th.MTL(),
+		MaxConcurrentM: r.peakMem,
+	}
+	if d, ok := r.th.(*core.Dynamic); ok {
+		st.MTLDecisions = append([]int(nil), d.History...)
+	}
+	if o, ok := r.th.(*core.OnlineExhaustive); ok {
+		st.MTLDecisions = append([]int(nil), o.History...)
+	}
+	if ph.nTm > 0 {
+		st.MeanTm = ph.sumTm / time.Duration(ph.nTm)
+	}
+	if ph.nTc > 0 {
+		st.MeanTc = ph.sumTc / time.Duration(ph.nTc)
+	}
+	return st, nil
+}
+
+// RunPhases executes phases back to back, returning per-phase stats.
+func (r *Runtime) RunPhases(phases [][]Pair) ([]Stats, error) {
+	var out []Stats
+	for i, ph := range phases {
+		st, err := r.Run(ph)
+		if err != nil {
+			return out, fmt.Errorf("host: phase %d: %w", i, err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// phase is the shared state of one Run.
+type phase struct {
+	rt        *Runtime
+	pairs     []Pair
+	readyMem  []*job
+	readyComp []*job
+	remain    int
+	start     time.Time
+
+	tmDur []time.Duration // per-pair memory-task duration
+	sumTm time.Duration
+	nTm   int
+	sumTc time.Duration
+	nTc   int
+
+	err error // first task panic, converted to an error
+}
+
+// pick returns the next runnable job under the MTL gate, or nil when
+// the worker should wait (blocked=true) or exit (blocked=false).
+// Caller holds rt.mu.
+func (ph *phase) pick() (j *job, blocked bool) {
+	r := ph.rt
+	memOK := r.activeMem < r.th.MTL() && len(ph.readyMem) > 0
+	compOK := len(ph.readyComp) > 0
+	switch {
+	case memOK && (!compOK || ph.readyMem[0].id < ph.readyComp[0].id):
+		j = ph.readyMem[0]
+		ph.readyMem = ph.readyMem[1:]
+	case compOK:
+		j = ph.readyComp[0]
+		ph.readyComp = ph.readyComp[1:]
+	default:
+		return nil, ph.remain > 0
+	}
+	return j, false
+}
+
+// insert keeps a ready queue ordered by job id.
+func insert(q []*job, j *job) []*job {
+	i := len(q)
+	for i > 0 && q[i-1].id > j.id {
+		i--
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = j
+	return q
+}
+
+// work is the worker-goroutine loop: the paper's child threads
+// dequeuing from the work queue under the lock-and-counter MTL gate.
+func (ph *phase) work() {
+	r := ph.rt
+	r.mu.Lock()
+	for {
+		if ph.err != nil {
+			// A sibling's task panicked: drain instead of running
+			// more user code so Run can fail cleanly.
+			ph.abortLocked()
+			r.mu.Unlock()
+			return
+		}
+		j, blocked := ph.pick()
+		if j == nil {
+			if !blocked {
+				r.mu.Unlock()
+				return
+			}
+			r.cond.Wait()
+			continue
+		}
+		if j.memory {
+			r.activeMem++
+			if r.activeMem > r.peakMem {
+				r.peakMem = r.activeMem
+			}
+		}
+		r.mu.Unlock()
+
+		t0 := time.Now()
+		panicked := ph.runTask(j)
+		dur := time.Since(t0)
+
+		r.mu.Lock()
+		if panicked {
+			if j.memory {
+				r.activeMem--
+			}
+			ph.abortLocked()
+			r.mu.Unlock()
+			return
+		}
+		ph.finish(j, dur)
+	}
+}
+
+// runTask executes one task, converting a panic into ph.err. It
+// reports whether the task panicked.
+func (ph *phase) runTask(j *job) (panicked bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			panicked = true
+			ph.rt.mu.Lock()
+			if ph.err == nil {
+				ph.err = fmt.Errorf("host: pair %d %s task panicked: %v",
+					j.pair, taskName(j), rec)
+			}
+			ph.rt.mu.Unlock()
+		}
+	}()
+	j.fn()
+	return false
+}
+
+func taskName(j *job) string {
+	switch {
+	case !j.memory:
+		return "compute"
+	case j.id%3 == 0:
+		return "memory"
+	default:
+		return "scatter"
+	}
+}
+
+// abortLocked empties the queues and wakes everyone so workers exit.
+// Caller holds rt.mu.
+func (ph *phase) abortLocked() {
+	ph.remain -= len(ph.readyMem) + len(ph.readyComp)
+	ph.readyMem = nil
+	ph.readyComp = nil
+	ph.remain = 0
+	ph.rt.cond.Broadcast()
+}
+
+// finish updates queues, measurements and the controller after a job
+// completes. Caller holds rt.mu; broadcasts to wake blocked workers.
+func (ph *phase) finish(j *job, dur time.Duration) {
+	r := ph.rt
+	p := &ph.pairs[j.pair]
+	if j.memory {
+		r.activeMem--
+		if j.id%3 == 0 { // gather: enable the compute task
+			ph.tmDur[j.pair] = dur
+			ph.sumTm += dur
+			ph.nTm++
+			ph.readyComp = insert(ph.readyComp, &job{id: j.id + 1, pair: j.pair, fn: p.Compute})
+		}
+	} else {
+		ph.sumTc += dur
+		ph.nTc++
+		if p.Scatter != nil {
+			ph.readyMem = insert(ph.readyMem, &job{id: j.id + 1, pair: j.pair, memory: true, fn: p.Scatter})
+		}
+		// A completed memory/compute pair feeds the controller with
+		// real wall-clock timings.
+		r.th.OnPair(core.PairSample{
+			Tm:  core.Time(ph.tmDur[j.pair].Seconds()),
+			Tc:  core.Time(dur.Seconds()),
+			Now: core.Time(time.Since(ph.start).Seconds()),
+		})
+	}
+	ph.remain--
+	r.cond.Broadcast()
+}

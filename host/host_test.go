@@ -1,0 +1,298 @@
+package host
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// busy spins briefly so tasks have measurable, nonzero duration.
+func busy(iters int) {
+	x := 0
+	for i := 0; i < iters; i++ {
+		x += i
+	}
+	_ = x
+}
+
+// makePairs builds n instrumented pairs and returns shared counters:
+// the per-pair execution counts and a live memory-task gauge.
+func makePairs(n int, withScatter bool) (pairs []Pair, memRuns, compRuns, scatRuns *int64, liveMem, peakMem *int64) {
+	memRuns, compRuns, scatRuns = new(int64), new(int64), new(int64)
+	liveMem, peakMem = new(int64), new(int64)
+	var mu sync.Mutex
+	computeDone := make([]bool, n)
+	memDone := make([]bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		p := Pair{
+			Memory: func() {
+				cur := atomic.AddInt64(liveMem, 1)
+				for {
+					old := atomic.LoadInt64(peakMem)
+					if cur <= old || atomic.CompareAndSwapInt64(peakMem, old, cur) {
+						break
+					}
+				}
+				busy(2000)
+				mu.Lock()
+				memDone[i] = true
+				mu.Unlock()
+				atomic.AddInt64(memRuns, 1)
+				atomic.AddInt64(liveMem, -1)
+			},
+			Compute: func() {
+				mu.Lock()
+				if !memDone[i] {
+					panic("compute before memory")
+				}
+				computeDone[i] = true
+				mu.Unlock()
+				busy(8000)
+				atomic.AddInt64(compRuns, 1)
+			},
+		}
+		if withScatter {
+			p.Scatter = func() {
+				mu.Lock()
+				if !computeDone[i] {
+					panic("scatter before compute")
+				}
+				mu.Unlock()
+				atomic.AddInt64(scatRuns, 1)
+			}
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs, memRuns, compRuns, scatRuns, liveMem, peakMem
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Workers: -1},
+		{Policy: Static, Workers: 4},           // MTL unset
+		{Policy: Static, Workers: 4, MTL: 5},   // MTL > workers
+		{Policy: Dynamic, Workers: 4, MTL: 2},  // MTL with adaptive policy
+		{Policy: Dynamic, Workers: 1},          // adaptive needs >= 2
+		{Policy: Policy(99), Workers: 4, W: 4}, // unknown policy
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		Conventional: "conventional", Static: "static",
+		Dynamic: "dynamic", OnlineExhaustive: "online-exhaustive",
+	} {
+		if p.String() != want {
+			t.Errorf("Policy.String() = %q, want %q", p.String(), want)
+		}
+	}
+}
+
+func TestAllTasksRunOnceInOrder(t *testing.T) {
+	rt, err := New(Config{Workers: 4, Policy: Static, MTL: 2, W: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pairs, mem, comp, scat, _, _ := makePairs(50, true)
+	st, err := rt.Run(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *mem != 50 || *comp != 50 || *scat != 50 {
+		t.Errorf("runs = %d/%d/%d, want 50 each", *mem, *comp, *scat)
+	}
+	if st.Pairs != 50 || st.Elapsed <= 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestMTLInvariantHolds(t *testing.T) {
+	for _, mtl := range []int{1, 2, 3} {
+		rt, err := New(Config{Workers: 4, Policy: Static, MTL: mtl, W: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs, _, _, _, _, peak := makePairs(60, true)
+		st, err := rt.Run(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := atomic.LoadInt64(peak); got > int64(mtl) {
+			t.Errorf("MTL=%d: observed %d concurrent memory tasks", mtl, got)
+		}
+		if st.MaxConcurrentM > mtl {
+			t.Errorf("MTL=%d: runtime reported peak %d", mtl, st.MaxConcurrentM)
+		}
+		rt.Close()
+	}
+}
+
+func TestDynamicAdaptsAndStaysLegal(t *testing.T) {
+	rt, err := New(Config{Workers: 4, Policy: Dynamic, W: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pairs, _, _, _, _, peak := makePairs(120, false)
+	st, err := rt.Run(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.MTLDecisions) == 0 {
+		t.Error("dynamic runtime made no decision over 120 pairs")
+	}
+	if got := atomic.LoadInt64(peak); got > 4 {
+		t.Errorf("memory concurrency %d exceeded worker count", got)
+	}
+	if st.FinalMTL < 1 || st.FinalMTL > 4 {
+		t.Errorf("FinalMTL = %d out of range", st.FinalMTL)
+	}
+	if st.MeanTm <= 0 || st.MeanTc <= 0 {
+		t.Errorf("mean durations not recorded: %+v", st)
+	}
+}
+
+func TestOnlineExhaustiveRuns(t *testing.T) {
+	rt, err := New(Config{Workers: 4, Policy: OnlineExhaustive, W: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pairs, _, _, _, _, _ := makePairs(80, false)
+	st, err := rt.Run(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.MTLDecisions) == 0 {
+		t.Error("online baseline made no decision")
+	}
+}
+
+func TestRunPhases(t *testing.T) {
+	rt, err := New(Config{Workers: 4, Policy: Dynamic, W: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	p1, _, _, _, _, _ := makePairs(40, false)
+	p2, _, _, _, _, _ := makePairs(40, false)
+	stats, err := rt.RunPhases([][]Pair{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("phase stats = %d, want 2", len(stats))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	rt, err := New(Config{Workers: 2, Policy: Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(nil); err == nil {
+		t.Error("empty Run accepted")
+	}
+	if _, err := rt.Run([]Pair{{Memory: func() {}}}); err == nil {
+		t.Error("pair without compute accepted")
+	}
+	rt.Close()
+	pairs, _, _, _, _, _ := makePairs(2, false)
+	if _, err := rt.Run(pairs); err == nil {
+		t.Error("Run after Close accepted")
+	}
+}
+
+func TestTaskPanicBecomesError(t *testing.T) {
+	rt, err := New(Config{Workers: 4, Policy: Static, MTL: 2, W: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pairs, _, _, _, _, _ := makePairs(30, false)
+	pairs[7].Compute = func() { panic("boom") }
+	_, err = rt.Run(pairs)
+	if err == nil {
+		t.Fatal("panicking task did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "pair 7") {
+		t.Errorf("error lacks context: %v", err)
+	}
+	// The runtime must remain usable after a failed phase.
+	ok, _, _, _, _, _ := makePairs(10, false)
+	if _, err := rt.Run(ok); err != nil {
+		t.Fatalf("runtime wedged after panic: %v", err)
+	}
+}
+
+func TestMemoryTaskPanic(t *testing.T) {
+	rt, err := New(Config{Workers: 2, Policy: Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pairs, _, _, _, _, _ := makePairs(10, false)
+	pairs[3].Memory = func() { panic("mem boom") }
+	if _, err := rt.Run(pairs); err == nil || !strings.Contains(err.Error(), "memory task") {
+		t.Fatalf("memory panic mishandled: %v", err)
+	}
+}
+
+func TestSingleWorkerCompletes(t *testing.T) {
+	rt, err := New(Config{Workers: 1, Policy: Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pairs, mem, comp, _, _, _ := makePairs(10, true)
+	if _, err := rt.Run(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if *mem != 10 || *comp != 10 {
+		t.Errorf("single worker ran %d/%d, want 10/10", *mem, *comp)
+	}
+}
+
+func TestMTLQueryIsSafeDuringRun(t *testing.T) {
+	rt, err := New(Config{Workers: 4, Policy: Dynamic, W: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pairs, _, _, _, _, _ := makePairs(60, false)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if k := rt.MTL(); k < 1 || k > 4 {
+				t.Errorf("MTL() = %d mid-run", k)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	if _, err := rt.Run(pairs); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}

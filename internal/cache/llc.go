@@ -1,0 +1,167 @@
+// Package cache models the shared last-level cache at two
+// resolutions: a line-level set-associative LRU cache (SetAssoc) used
+// for unit-level validation and workload characterisation, and a
+// capacity-accounting model (LLC) used by the scheduler simulation to
+// decide when concurrently live task footprints overflow the cache and
+// compute tasks start missing — the effect that flattens the S-MTL=3
+// region of Fig. 13(c).
+package cache
+
+import "fmt"
+
+// LLC is the capacity-accounting model of the shared last-level
+// cache. Live bytes are the footprints of in-flight memory tasks plus
+// the working sets of running compute tasks; when they exceed
+// Capacity, compute tasks acquire a proportional miss fraction.
+type LLC struct {
+	capacity float64
+	live     float64
+	peak     float64
+}
+
+// NewLLC builds an accounting model of a cache with the given
+// capacity in bytes. It panics on a non-positive capacity.
+func NewLLC(capacityBytes float64) *LLC {
+	if capacityBytes <= 0 {
+		panic(fmt.Sprintf("cache: capacity %g", capacityBytes))
+	}
+	return &LLC{capacity: capacityBytes}
+}
+
+// Capacity reports the modelled capacity in bytes.
+func (c *LLC) Capacity() float64 { return c.capacity }
+
+// Live reports the currently resident footprint in bytes.
+func (c *LLC) Live() float64 { return c.live }
+
+// Peak reports the maximum live footprint observed.
+func (c *LLC) Peak() float64 { return c.peak }
+
+// Reserve accounts bytes as resident. Panics on negative bytes.
+func (c *LLC) Reserve(bytes float64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("cache: Reserve(%g)", bytes))
+	}
+	c.live += bytes
+	if c.live > c.peak {
+		c.peak = c.live
+	}
+}
+
+// Release returns bytes to the free pool. Releasing more than is live
+// panics: it means the caller's pairing of Reserve/Release is broken.
+func (c *LLC) Release(bytes float64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("cache: Release(%g)", bytes))
+	}
+	c.live -= bytes
+	if c.live < -1e-6 {
+		panic(fmt.Sprintf("cache: Release below zero (live %g)", c.live))
+	}
+	if c.live < 0 {
+		c.live = 0
+	}
+}
+
+// MissFraction reports the fraction of a compute task's accesses that
+// miss, given the current live footprint: 0 while everything fits,
+// otherwise the overflowed share of the live bytes. This is the
+// steady-state expectation for a random replacement victim.
+func (c *LLC) MissFraction() float64 {
+	if c.live <= c.capacity {
+		return 0
+	}
+	return (c.live - c.capacity) / c.live
+}
+
+// SetAssoc is a line-level set-associative cache with LRU replacement.
+type SetAssoc struct {
+	lineBytes int
+	sets      int
+	ways      int
+	// tags[set][way]; lru[set][way] holds recency (higher = newer).
+	tags  [][]uint64
+	valid [][]bool
+	stamp [][]uint64
+	clock uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewSetAssoc builds a cache of the given total capacity, line size
+// and associativity. Capacity must divide evenly into sets; panics on
+// malformed geometry.
+func NewSetAssoc(capacityBytes, lineBytes, ways int) *SetAssoc {
+	if capacityBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	lines := capacityBytes / lineBytes
+	if lines*lineBytes != capacityBytes {
+		panic("cache: capacity not a multiple of line size")
+	}
+	sets := lines / ways
+	if sets == 0 || sets*ways != lines {
+		panic("cache: lines not a multiple of ways")
+	}
+	c := &SetAssoc{lineBytes: lineBytes, sets: sets, ways: ways}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.stamp = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.valid[i] = make([]bool, ways)
+		c.stamp[i] = make([]uint64, ways)
+	}
+	return c
+}
+
+// Sets and Ways report the geometry.
+func (c *SetAssoc) Sets() int { return c.sets }
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// Hits and Misses report access counters.
+func (c *SetAssoc) Hits() uint64   { return c.hits }
+func (c *SetAssoc) Misses() uint64 { return c.misses }
+
+func (c *SetAssoc) index(addr uint64) (set int, tag uint64) {
+	line := addr / uint64(c.lineBytes)
+	return int(line % uint64(c.sets)), line / uint64(c.sets)
+}
+
+// Access touches addr, returning true on a hit. Misses install the
+// line, evicting the LRU way of its set.
+func (c *SetAssoc) Access(addr uint64) bool {
+	set, tag := c.index(addr)
+	c.clock++
+	victim, oldest := 0, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.stamp[set][w] = c.clock
+			c.hits++
+			return true
+		}
+		if !c.valid[set][w] {
+			victim, oldest = w, 0
+		} else if c.stamp[set][w] < oldest {
+			victim, oldest = w, c.stamp[set][w]
+		}
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.stamp[set][victim] = c.clock
+	c.misses++
+	return false
+}
+
+// Contains reports whether addr is resident, without touching LRU
+// state or counters.
+func (c *SetAssoc) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return true
+		}
+	}
+	return false
+}

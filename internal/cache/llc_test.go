@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLLCReserveRelease(t *testing.T) {
+	c := NewLLC(8 << 20)
+	c.Reserve(2 << 20)
+	c.Reserve(3 << 20)
+	if got := c.Live(); got != 5<<20 {
+		t.Fatalf("Live = %g, want %d", got, 5<<20)
+	}
+	c.Release(3 << 20)
+	if got := c.Live(); got != 2<<20 {
+		t.Fatalf("Live = %g after release, want %d", got, 2<<20)
+	}
+	if c.Peak() != 5<<20 {
+		t.Errorf("Peak = %g, want %d", c.Peak(), 5<<20)
+	}
+}
+
+func TestLLCMissFraction(t *testing.T) {
+	c := NewLLC(8 << 20)
+	c.Reserve(4 << 20)
+	if mf := c.MissFraction(); mf != 0 {
+		t.Errorf("under capacity miss fraction = %g, want 0", mf)
+	}
+	c.Reserve(12 << 20) // live 16 MB on 8 MB cache: half the lines gone
+	if mf := c.MissFraction(); mf != 0.5 {
+		t.Errorf("2x overflow miss fraction = %g, want 0.5", mf)
+	}
+}
+
+func TestLLCPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero capacity":    func() { NewLLC(0) },
+		"negative reserve": func() { NewLLC(1).Reserve(-1) },
+		"negative release": func() { NewLLC(1).Release(-1) },
+		"over release": func() {
+			c := NewLLC(1)
+			c.Release(5)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: miss fraction is always in [0, 1) and monotone in live bytes.
+func TestLLCMissFractionProperty(t *testing.T) {
+	prop := func(reserves []uint16) bool {
+		c := NewLLC(1 << 16)
+		prev := 0.0
+		for _, r := range reserves {
+			c.Reserve(float64(r))
+			mf := c.MissFraction()
+			if mf < 0 || mf >= 1 || mf < prev {
+				return false
+			}
+			prev = mf
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAssocGeometry(t *testing.T) {
+	c := NewSetAssoc(64*1024, 64, 8)
+	if c.Sets() != 128 || c.Ways() != 8 {
+		t.Fatalf("geometry = %d sets x %d ways, want 128x8", c.Sets(), c.Ways())
+	}
+}
+
+func TestSetAssocHitAfterInstall(t *testing.T) {
+	c := NewSetAssoc(64*1024, 64, 8)
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x1010) { // same line
+		t.Error("same-line access missed")
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 2/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestSetAssocLRUEviction(t *testing.T) {
+	// 2-way cache: fill a set with two lines, touch the first, insert
+	// a third mapping to the same set — the second must be evicted.
+	c := NewSetAssoc(4*64*2, 64, 2) // 4 sets, 2 ways
+	set0 := func(i int) uint64 { return uint64(i * 4 * 64) }
+	c.Access(set0(0))
+	c.Access(set0(1))
+	c.Access(set0(0)) // refresh line 0
+	c.Access(set0(2)) // evicts line 1
+	if !c.Contains(set0(0)) {
+		t.Error("recently used line evicted")
+	}
+	if c.Contains(set0(1)) {
+		t.Error("LRU line survived")
+	}
+	if !c.Contains(set0(2)) {
+		t.Error("new line not installed")
+	}
+}
+
+func TestSetAssocStreamingWorkingSet(t *testing.T) {
+	// A working set that fits sees ~100% hits on the second pass; a
+	// 2x working set sees ~0% on LRU.
+	const capBytes = 64 * 1024
+	fits := NewSetAssoc(capBytes, 64, 8)
+	for pass := 0; pass < 2; pass++ {
+		for a := 0; a < capBytes; a += 64 {
+			fits.Access(uint64(a))
+		}
+	}
+	if fits.Hits() != uint64(capBytes/64) {
+		t.Errorf("fitting set: hits = %d, want %d", fits.Hits(), capBytes/64)
+	}
+
+	thrash := NewSetAssoc(capBytes, 64, 8)
+	for pass := 0; pass < 2; pass++ {
+		for a := 0; a < 2*capBytes; a += 64 {
+			thrash.Access(uint64(a))
+		}
+	}
+	if thrash.Hits() != 0 {
+		t.Errorf("thrashing set: hits = %d, want 0 under LRU", thrash.Hits())
+	}
+}
+
+func TestSetAssocPanicsOnBadGeometry(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero":              func() { NewSetAssoc(0, 64, 8) },
+		"capacity not mult": func() { NewSetAssoc(100, 64, 8) },
+		"too many ways":     func() { NewSetAssoc(128, 64, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := NewSetAssoc(4*64*2, 64, 2)
+	c.Access(0)
+	h, m := c.Hits(), c.Misses()
+	c.Contains(0)
+	c.Contains(12345)
+	if c.Hits() != h || c.Misses() != m {
+		t.Error("Contains changed counters")
+	}
+}

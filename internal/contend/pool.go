@@ -1,0 +1,220 @@
+// Package contend implements a fluid (processor-sharing) model of
+// memory-task contention. Request-level DRAM simulation (internal/mem)
+// is accurate but too slow for full-program runs over hundreds of
+// workload configurations; this package abstracts it to the law the
+// calibration fits:
+//
+//	time(F bytes @ concurrency a) = F * (tml + a*tql)  per byte
+//
+// where a is the instantaneous total weight of active actors. When
+// membership changes mid-task, progress integrates piecewise — which
+// also models the "non-steady state" transients the paper credits for
+// its small model errors (§VI-A). Cross-validation tests assert the
+// fluid model tracks the request-level simulator.
+package contend
+
+import (
+	"fmt"
+	"sort"
+
+	"memthrottle/internal/mem"
+	"memthrottle/internal/sim"
+)
+
+// Params are the per-byte contention coefficients, normally obtained
+// from a DRAM calibration fit.
+type Params struct {
+	TmlPerByte float64 // seconds per byte, contention-free component
+	TqlPerByte float64 // seconds per byte added per unit of concurrency
+}
+
+// FromCalibration converts a request-level calibration into fluid
+// parameters.
+func FromCalibration(cal mem.Calibration) Params {
+	tml, tql := cal.PerByte()
+	return Params{TmlPerByte: tml, TqlPerByte: tql}
+}
+
+// Validate reports a parameter error, if any.
+func (p Params) Validate() error {
+	if p.TmlPerByte <= 0 || p.TqlPerByte < 0 {
+		return fmt.Errorf("contend: params %+v, want TmlPerByte > 0 and TqlPerByte >= 0", p)
+	}
+	return nil
+}
+
+// TaskTime reports the duration of a memory task of the given
+// footprint under constant concurrency a.
+func (p Params) TaskTime(footprintBytes float64, a float64) sim.Time {
+	return sim.Time(footprintBytes * (p.TmlPerByte + a*p.TqlPerByte))
+}
+
+// Actor is one in-flight memory transfer in the pool.
+type Actor struct {
+	pool      *Pool
+	seq       uint64 // start order; fixes callback ordering
+	weight    float64
+	remaining float64 // bytes left to transfer
+	done      func()
+	active    bool
+}
+
+// Active reports whether the actor is still in flight.
+func (a *Actor) Active() bool { return a.active }
+
+// Remaining reports the bytes left to transfer (after accounting for
+// progress up to the current engine time).
+func (a *Actor) Remaining() float64 {
+	a.pool.settle()
+	return a.remaining
+}
+
+// Pool tracks the set of active memory actors and advances their
+// progress under the fluid contention law.
+type Pool struct {
+	eng        *sim.Engine
+	params     Params
+	actors     map[*Actor]struct{}
+	weight     float64
+	lastSettle sim.Time
+	next       *sim.Event
+	due        []*Actor // actors the pending event will complete
+
+	started   uint64
+	completed uint64
+}
+
+// NewPool creates a pool bound to the engine. Invalid params panic:
+// they are a construction-time programming error.
+func NewPool(eng *sim.Engine, params Params) *Pool {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Pool{eng: eng, params: params, actors: make(map[*Actor]struct{})}
+}
+
+// Params returns the pool's contention coefficients.
+func (p *Pool) Params() Params { return p.params }
+
+// Count reports the number of active actors.
+func (p *Pool) Count() int { return len(p.actors) }
+
+// ActiveWeight reports the summed weight of active actors (the "a" in
+// the contention law).
+func (p *Pool) ActiveWeight() float64 { return p.weight }
+
+// Started and Completed report lifetime actor counts.
+func (p *Pool) Started() uint64   { return p.started }
+func (p *Pool) Completed() uint64 { return p.completed }
+
+// perByte returns the current per-byte transfer time.
+func (p *Pool) perByte() float64 {
+	return p.params.TmlPerByte + p.weight*p.params.TqlPerByte
+}
+
+// settle integrates progress from lastSettle to now at the current
+// concurrency level.
+func (p *Pool) settle() {
+	now := p.eng.Now()
+	dt := float64(now - p.lastSettle)
+	p.lastSettle = now
+	if dt == 0 || len(p.actors) == 0 {
+		return
+	}
+	progressed := dt / p.perByte()
+	for a := range p.actors {
+		a.remaining -= progressed
+		if a.remaining < 0 {
+			a.remaining = 0
+		}
+	}
+}
+
+// reschedule cancels any pending completion event and schedules the
+// next one at the earliest actor completion under current concurrency.
+// The due actors are remembered and force-completed when the event
+// fires: re-deriving them from float comparisons at fire time can
+// leave a hair of remaining work and stall virtual time.
+func (p *Pool) reschedule() {
+	if p.next != nil {
+		p.next.Cancel()
+		p.next = nil
+	}
+	p.due = p.due[:0]
+	if len(p.actors) == 0 {
+		return
+	}
+	minRem := -1.0
+	for a := range p.actors {
+		if minRem < 0 || a.remaining < minRem {
+			minRem = a.remaining
+		}
+	}
+	const relTol = 1e-12
+	for a := range p.actors {
+		if a.remaining <= minRem*(1+relTol) {
+			p.due = append(p.due, a)
+		}
+	}
+	sort.Slice(p.due, func(i, j int) bool { return p.due[i].seq < p.due[j].seq })
+	delay := sim.Time(minRem * p.perByte())
+	p.next = p.eng.After(delay, p.fire)
+}
+
+// fire completes the actors the pending event was scheduled for.
+func (p *Pool) fire() {
+	p.settle()
+	finished := append([]*Actor(nil), p.due...)
+	for _, a := range finished {
+		delete(p.actors, a)
+		p.weight -= a.weight
+		a.active = false
+		a.remaining = 0
+		p.completed++
+	}
+	if p.weight < 1e-12 && len(p.actors) == 0 {
+		p.weight = 0 // absorb float drift at idle
+	}
+	p.reschedule()
+	// Callbacks run after internal state is consistent: they may
+	// start new actors.
+	for _, a := range finished {
+		if a.done != nil {
+			a.done()
+		}
+	}
+}
+
+// Start adds a transfer of footprintBytes with the given concurrency
+// weight; done (may be nil) fires at completion. Weight is 1 for a
+// memory task; compute tasks with LLC-overflow miss traffic join with
+// their miss fraction as weight. Panics on non-positive footprint or
+// weight out of (0, 1].
+func (p *Pool) Start(footprintBytes, weight float64, done func()) *Actor {
+	if footprintBytes <= 0 {
+		panic(fmt.Sprintf("contend: Start with footprint %g", footprintBytes))
+	}
+	if weight <= 0 || weight > 1 {
+		panic(fmt.Sprintf("contend: Start with weight %g, want (0, 1]", weight))
+	}
+	p.settle()
+	a := &Actor{pool: p, seq: p.started, weight: weight, remaining: footprintBytes, done: done, active: true}
+	p.actors[a] = struct{}{}
+	p.weight += weight
+	p.started++
+	p.reschedule()
+	return a
+}
+
+// Cancel removes an in-flight actor without firing its callback.
+// Cancelling an inactive actor is a no-op.
+func (p *Pool) Cancel(a *Actor) {
+	if !a.active {
+		return
+	}
+	p.settle()
+	delete(p.actors, a)
+	p.weight -= a.weight
+	a.active = false
+	p.reschedule()
+}

@@ -1,0 +1,259 @@
+package contend
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"memthrottle/internal/mem"
+	"memthrottle/internal/sim"
+)
+
+// testParams: 1 ns/byte contention-free, 0.4 ns/byte per concurrent
+// actor — the ~0.4 Tql/Tml regime the calibration lands in.
+func testParams() Params {
+	return Params{TmlPerByte: 1e-9, TqlPerByte: 0.4e-9}
+}
+
+func approxTime(t *testing.T, got, want sim.Time, relTol float64, what string) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", what, got)
+		}
+		return
+	}
+	if rel := math.Abs(float64(got-want)) / math.Abs(float64(want)); rel > relTol {
+		t.Errorf("%s = %v, want %v (rel err %.2g)", what, got, want, rel)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := testParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{TmlPerByte: 0, TqlPerByte: 1}).Validate(); err == nil {
+		t.Error("zero Tml accepted")
+	}
+	if err := (Params{TmlPerByte: 1, TqlPerByte: -1}).Validate(); err == nil {
+		t.Error("negative Tql accepted")
+	}
+}
+
+func TestTaskTime(t *testing.T) {
+	p := testParams()
+	// 1000 bytes at concurrency 1: 1000 * 1.4 ns.
+	approxTime(t, p.TaskTime(1000, 1), sim.Time(1400e-9), 1e-12, "TaskTime")
+}
+
+func TestSingleActorMatchesLaw(t *testing.T) {
+	eng := sim.New()
+	p := NewPool(eng, testParams())
+	var end sim.Time
+	p.Start(1000, 1, func() { end = eng.Now() })
+	eng.Run()
+	approxTime(t, end, p.Params().TaskTime(1000, 1), 1e-9, "single actor")
+	if p.Completed() != 1 || p.Started() != 1 {
+		t.Errorf("counters: started=%d completed=%d", p.Started(), p.Completed())
+	}
+}
+
+func TestKSimultaneousActorsMatchLaw(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		eng := sim.New()
+		p := NewPool(eng, testParams())
+		var ends []sim.Time
+		for i := 0; i < k; i++ {
+			p.Start(1000, 1, func() { ends = append(ends, eng.Now()) })
+		}
+		eng.Run()
+		want := p.Params().TaskTime(1000, float64(k))
+		if len(ends) != k {
+			t.Fatalf("k=%d: %d completions", k, len(ends))
+		}
+		for _, e := range ends {
+			approxTime(t, e, want, 1e-9, "simultaneous actor")
+		}
+	}
+}
+
+func TestStaggeredArrivalIntegratesPiecewise(t *testing.T) {
+	// Actor A starts alone; actor B joins when A is half done.
+	// A's first half runs at concurrency 1, second half at 2.
+	p := testParams()
+	eng := sim.New()
+	pool := NewPool(eng, p)
+	const F = 1000.0
+	half := sim.Time(F / 2 * (p.TmlPerByte + p.TqlPerByte))
+	var endA, endB sim.Time
+	pool.Start(F, 1, func() { endA = eng.Now() })
+	eng.At(half, func() { pool.Start(F, 1, func() { endB = eng.Now() }) })
+	eng.Run()
+
+	perByte1 := p.TmlPerByte + p.TqlPerByte
+	perByte2 := p.TmlPerByte + 2*p.TqlPerByte
+	wantA := half + sim.Time(F/2*perByte2)
+	approxTime(t, endA, wantA, 1e-9, "staggered A")
+	// B: runs at concurrency 2 until A finishes, then alone.
+	bytesBWhileShared := float64(wantA-half) / perByte2
+	wantB := wantA + sim.Time((F-bytesBWhileShared)*perByte1)
+	approxTime(t, endB, wantB, 1e-9, "staggered B")
+}
+
+func TestWeightedActorRaisesConcurrencyFractionally(t *testing.T) {
+	p := testParams()
+	// A full actor plus a 0.25-weight actor: the full actor sees
+	// concurrency 1.25.
+	eng := sim.New()
+	pool := NewPool(eng, p)
+	var endFull sim.Time
+	pool.Start(1000, 1, func() { endFull = eng.Now() })
+	pool.Start(1e6, 0.25, nil) // long-lived background miss traffic
+	eng.Run()
+	want := p.TaskTime(1000, 1.25)
+	approxTime(t, endFull, want, 1e-9, "weighted concurrency")
+}
+
+func TestCancelRemovesActor(t *testing.T) {
+	p := testParams()
+	eng := sim.New()
+	pool := NewPool(eng, p)
+	var endA sim.Time
+	canceledFired := false
+	pool.Start(1000, 1, func() { endA = eng.Now() })
+	victim := pool.Start(1000, 1, func() { canceledFired = true })
+	eng.After(0, func() { pool.Cancel(victim) })
+	eng.Run()
+	if canceledFired {
+		t.Error("cancelled actor fired its callback")
+	}
+	if victim.Active() {
+		t.Error("cancelled actor still active")
+	}
+	pool.Cancel(victim) // double-cancel is a no-op
+	approxTime(t, endA, p.TaskTime(1000, 1), 1e-9, "survivor after cancel")
+}
+
+func TestRemainingReflectsProgress(t *testing.T) {
+	p := testParams()
+	eng := sim.New()
+	pool := NewPool(eng, p)
+	a := pool.Start(1000, 1, nil)
+	perByte := p.TmlPerByte + p.TqlPerByte
+	eng.At(sim.Time(300*perByte), func() {
+		if rem := a.Remaining(); math.Abs(rem-700) > 1e-6 {
+			t.Errorf("Remaining = %g bytes, want 700", rem)
+		}
+	})
+	eng.Run()
+	if a.Remaining() != 0 || a.Active() {
+		t.Error("actor not drained at end")
+	}
+}
+
+func TestStartPanics(t *testing.T) {
+	eng := sim.New()
+	pool := NewPool(eng, testParams())
+	for _, fn := range []func(){
+		func() { pool.Start(0, 1, nil) },
+		func() { pool.Start(100, 0, nil) },
+		func() { pool.Start(100, 1.5, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Start accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewPoolPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad params accepted")
+		}
+	}()
+	NewPool(sim.New(), Params{})
+}
+
+func TestDoneCallbackMayStartNewActor(t *testing.T) {
+	// Closed-loop usage: completion immediately starts the next task.
+	p := testParams()
+	eng := sim.New()
+	pool := NewPool(eng, p)
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		if count < 5 {
+			pool.Start(100, 1, loop)
+		}
+	}
+	pool.Start(100, 1, loop)
+	end := eng.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	approxTime(t, end, sim.Time(5*100*(p.TmlPerByte+p.TqlPerByte)), 1e-9, "closed loop")
+}
+
+// Property: completion order matches start order for identical actors
+// started at strictly increasing times, and every actor completes.
+func TestFIFOCompletionProperty(t *testing.T) {
+	prop := func(gapsRaw []uint8) bool {
+		if len(gapsRaw) == 0 || len(gapsRaw) > 20 {
+			return true
+		}
+		eng := sim.New()
+		pool := NewPool(eng, testParams())
+		var order []int
+		at := sim.Time(0)
+		for i, g := range gapsRaw {
+			at += sim.Time(g+1) * sim.Nanosecond
+			i := i
+			eng.At(at, func() {
+				pool.Start(500, 1, func() { order = append(order, i) })
+			})
+		}
+		eng.Run()
+		if len(order) != len(gapsRaw) {
+			return false
+		}
+		for i := range order {
+			if order[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cross-validation: the fluid model parameterised by the DRAM
+// calibration reproduces the request-level simulator's steady-state
+// task times within tolerance for every k. This is the load-bearing
+// link between the two resolutions.
+func TestCrossValidationAgainstRequestLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	const footprint = 512 * 1024
+	cal, err := mem.Calibrate(mem.DDR3_1066(), 4, 6, footprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := FromCalibration(cal)
+	for k := 1; k <= 4; k++ {
+		fluid := params.TaskTime(footprint, float64(k))
+		measured := cal.Tm[k-1]
+		if rel := math.Abs(float64(fluid-measured)) / float64(measured); rel > 0.15 {
+			t.Errorf("k=%d: fluid %v vs request-level %v (rel err %.1f%%)",
+				k, fluid, measured, 100*rel)
+		}
+	}
+}

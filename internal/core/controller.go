@@ -1,0 +1,331 @@
+package core
+
+import "fmt"
+
+// PairSample is one completed memory/compute task pair as observed by
+// the runtime: the measured durations plus the completion wall-clock
+// (virtual time in simulation, real time on the host runtime).
+type PairSample struct {
+	Tm  Time // duration of the pair's memory task
+	Tc  Time // duration of the pair's compute task
+	Now Time // completion instant
+}
+
+// Throttler is the run-time policy interface: it owns the current MTL
+// and updates it as pair completions stream in. Implementations:
+// Fixed (conventional / offline-selected static MTL), Dynamic (the
+// paper's mechanism), and OnlineExhaustive (the naive baseline, §V).
+type Throttler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// MTL reports the currently enforced memory-task limit.
+	MTL() int
+	// Monitoring reports whether pair instrumentation is active; the
+	// scheduler charges measurement overhead only while true.
+	Monitoring() bool
+	// OnPair feeds one completed pair to the policy. The policy may
+	// change MTL() as a result.
+	OnPair(s PairSample)
+}
+
+// Fixed is a constant-MTL policy. Fixed(n) is the conventional
+// interference-oblivious schedule; other values model the Offline
+// Exhaustive Search winner.
+type Fixed struct {
+	K int
+}
+
+// Name implements Throttler.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed(%d)", f.K) }
+
+// MTL implements Throttler.
+func (f Fixed) MTL() int { return f.K }
+
+// Monitoring implements Throttler: a static policy measures nothing.
+func (f Fixed) Monitoring() bool { return false }
+
+// OnPair implements Throttler.
+func (f Fixed) OnPair(PairSample) {}
+
+// window accumulates W pair samples.
+type window struct {
+	w     int
+	count int
+	tmSum Time
+	tcSum Time
+	start Time // wall-clock when the window opened
+	open  bool
+}
+
+func (a *window) add(s PairSample) bool {
+	if !a.open {
+		a.start = s.Now
+		a.open = true
+	}
+	a.count++
+	a.tmSum += s.Tm
+	a.tcSum += s.Tc
+	return a.count >= a.w
+}
+
+func (a *window) measurement() Measurement {
+	return Measurement{Tm: a.tmSum / Time(a.count), Tc: a.tcSum / Time(a.count)}
+}
+
+func (a *window) span(now Time) Time { return now - a.start }
+
+func (a *window) reset() { *a = window{w: a.w} }
+
+// Dynamic is the paper's run-time memory thread throttling mechanism
+// (§IV, Fig. 6): an initial MTL selection, then IdleBound-based phase
+// watching that re-triggers selection only when the core idle
+// behaviour changes.
+type Dynamic struct {
+	model Model
+	w     int
+	opts  DynamicOptions
+
+	mtl       int
+	sel       *Selector
+	win       window
+	watching  bool
+	prevIdle  int
+	prevRatio float64
+
+	// Stats for overhead and adaptation reporting.
+	MonitoredPairs int
+	Selections     int
+	TotalProbes    int
+	History        []int // every decided D-MTL in order
+}
+
+// DynamicOptions selects ablation variants of the mechanism. The zero
+// value is the paper's design.
+type DynamicOptions struct {
+	// LinearSearch probes every MTL 1..n per selection instead of the
+	// binary search of Fig. 11 (ablation A2).
+	LinearSearch bool
+	// NaiveRatioTrigger, when positive, re-selects whenever the
+	// memory-to-compute ratio moves by more than this relative amount
+	// — the fine-grained trigger §IV-B rejects (ablation A1).
+	NaiveRatioTrigger float64
+}
+
+// NewDynamic builds the dynamic throttler for the given machine model
+// and monitor window W (the paper sweeps W in Fig. 15; 16 is adequate
+// for its real workloads). Panics on W < 1.
+func NewDynamic(model Model, w int) *Dynamic {
+	return NewDynamicOpts(model, w, DynamicOptions{})
+}
+
+// NewDynamicOpts builds an ablation variant of the dynamic throttler.
+func NewDynamicOpts(model Model, w int, opts DynamicOptions) *Dynamic {
+	if w < 1 {
+		panic(fmt.Sprintf("core: NewDynamic with W = %d", w))
+	}
+	if opts.NaiveRatioTrigger < 0 {
+		panic(fmt.Sprintf("core: NaiveRatioTrigger = %g", opts.NaiveRatioTrigger))
+	}
+	d := &Dynamic{model: model, w: w, opts: opts, win: window{w: w}}
+	d.startSelection()
+	return d
+}
+
+// Name implements Throttler.
+func (d *Dynamic) Name() string {
+	switch {
+	case d.opts.LinearSearch:
+		return "dynamic-linear"
+	case d.opts.NaiveRatioTrigger > 0:
+		return "dynamic-naive-trigger"
+	default:
+		return "dynamic"
+	}
+}
+
+// MTL implements Throttler.
+func (d *Dynamic) MTL() int { return d.mtl }
+
+// Monitoring implements Throttler: the mechanism measures individual
+// tasks both while probing and while watching for phase changes.
+func (d *Dynamic) Monitoring() bool { return true }
+
+// Watching reports whether the mechanism is in the steady phase-watch
+// state (as opposed to actively probing candidate MTLs).
+func (d *Dynamic) Watching() bool { return d.watching }
+
+func (d *Dynamic) startSelection() {
+	if d.opts.LinearSearch {
+		d.sel = NewLinearSelector(d.model)
+	} else {
+		d.sel = NewSelector(d.model)
+	}
+	d.watching = false
+	d.Selections++
+	k, done := d.sel.NextProbe()
+	if done {
+		panic("core: selector done before any probe")
+	}
+	d.mtl = k
+	d.win.reset()
+}
+
+// OnPair implements Throttler.
+func (d *Dynamic) OnPair(s PairSample) {
+	d.MonitoredPairs++
+	if !d.win.add(s) {
+		return
+	}
+	m := d.win.measurement()
+	d.win.reset()
+
+	if d.watching {
+		if d.opts.NaiveRatioTrigger > 0 {
+			// Ablation: fine-grained trigger on any ratio movement.
+			ratio := float64(m.Tm) / float64(m.Tc)
+			moved := d.prevRatio > 0 &&
+				abs(ratio-d.prevRatio) > d.opts.NaiveRatioTrigger*d.prevRatio
+			d.prevRatio = ratio
+			if moved {
+				d.startSelection()
+			}
+			return
+		}
+		// Phase detection (§IV-B): trigger a new selection only when
+		// the idle behaviour (IdleBound) changes.
+		ib := d.model.IdleBound(m.Tm, m.Tc)
+		if ib != d.prevIdle {
+			d.startSelection()
+		}
+		return
+	}
+
+	// Selection in progress: this window measured the current probe.
+	d.sel.Record(d.mtl, m)
+	k, done := d.sel.NextProbe()
+	if !done {
+		d.mtl = k
+		return
+	}
+	dmtl, _ := d.sel.Decision()
+	d.TotalProbes += d.sel.Probes()
+	d.mtl = dmtl
+	d.watching = true
+	d.History = append(d.History, dmtl)
+	ref := m
+	if dm, ok := d.sel.Measured(dmtl); ok {
+		ref = dm
+	}
+	d.prevIdle = d.model.IdleBound(ref.Tm, ref.Tc)
+	d.prevRatio = float64(ref.Tm) / float64(ref.Tc)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// OnlineExhaustive is the naive baseline (§V): it watches the wall
+// time of W-pair groups, and when a group deviates from the previous
+// one by more than Threshold it re-probes every MTL from 1 to n,
+// choosing the one with the fastest group time. No analytical model is
+// involved, so it pays n probes per trigger and is vulnerable to
+// load-imbalance noise.
+type OnlineExhaustive struct {
+	model     Model
+	w         int
+	threshold float64
+
+	mtl      int
+	win      window
+	probing  bool
+	probeK   int
+	bestK    int
+	bestSpan Time
+	prevSpan Time
+	havePrev bool
+
+	MonitoredPairs int
+	Selections     int
+	TotalProbes    int
+	History        []int
+}
+
+// NewOnlineExhaustive builds the baseline with the paper's
+// best-performing threshold of 10% unless overridden (threshold <= 0
+// selects 0.10).
+func NewOnlineExhaustive(model Model, w int, threshold float64) *OnlineExhaustive {
+	if w < 1 {
+		panic(fmt.Sprintf("core: NewOnlineExhaustive with W = %d", w))
+	}
+	if threshold <= 0 {
+		threshold = 0.10
+	}
+	o := &OnlineExhaustive{model: model, w: w, threshold: threshold, win: window{w: w}}
+	// The naive method has no model to seed it: it starts with a full
+	// probe sweep from MTL=1.
+	o.startProbe()
+	return o
+}
+
+// Name implements Throttler.
+func (o *OnlineExhaustive) Name() string { return "online-exhaustive" }
+
+// MTL implements Throttler.
+func (o *OnlineExhaustive) MTL() int { return o.mtl }
+
+// Monitoring implements Throttler.
+func (o *OnlineExhaustive) Monitoring() bool { return true }
+
+func (o *OnlineExhaustive) startProbe() {
+	o.probing = true
+	o.probeK = 1
+	o.bestK = 0
+	o.bestSpan = 0
+	o.mtl = 1
+	o.win.reset()
+	o.Selections++
+}
+
+// OnPair implements Throttler.
+func (o *OnlineExhaustive) OnPair(s PairSample) {
+	o.MonitoredPairs++
+	if !o.win.add(s) {
+		return
+	}
+	span := o.win.span(s.Now)
+	o.win.reset()
+
+	if o.probing {
+		o.TotalProbes++
+		if o.bestK == 0 || span < o.bestSpan {
+			o.bestK, o.bestSpan = o.probeK, span
+		}
+		if o.probeK < o.model.N {
+			o.probeK++
+			o.mtl = o.probeK
+			return
+		}
+		// Sweep finished: adopt the fastest group.
+		o.mtl = o.bestK
+		o.probing = false
+		o.havePrev = false
+		o.History = append(o.History, o.bestK)
+		return
+	}
+
+	if o.havePrev {
+		num := span - o.prevSpan
+		if num < 0 {
+			num = -num
+		}
+		if float64(num) > o.threshold*float64(o.prevSpan) {
+			o.startProbe()
+			return
+		}
+	}
+	o.prevSpan = span
+	o.havePrev = true
+}

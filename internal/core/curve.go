@@ -1,0 +1,55 @@
+package core
+
+import "fmt"
+
+// CurvePoint is one x-position of an analytic speedup curve (the
+// model-only version of Fig. 13).
+type CurvePoint struct {
+	Ratio      float64   // Tm1/Tc
+	BestK      int       // model-optimal MTL (S-MTL)
+	Speedup    float64   // speedup at BestK over MTL=n
+	SpeedupByK []float64 // speedup at MTL=i+1
+}
+
+// SpeedupCurve evaluates the analytical model over a range of
+// memory-to-compute ratios, assuming the linear contention law
+// Tm_k = Tml + k*Tql. Ratios are defined against Tm_1 = Tml + Tql.
+// This is the closed-form shape the measured Fig. 13 sweeps are
+// compared to: hill-shaped regions whose peaks sit at
+// Tm_k/Tc = k/(n-k).
+func (m Model) SpeedupCurve(tml, tql Time, lo, hi, step float64) []CurvePoint {
+	if tml <= 0 || tql < 0 {
+		panic(fmt.Sprintf("core: SpeedupCurve with tml=%v tql=%v", tml, tql))
+	}
+	if step <= 0 || lo <= 0 || hi < lo {
+		panic(fmt.Sprintf("core: SpeedupCurve range [%g, %g] step %g", lo, hi, step))
+	}
+	tm := func(k int) Time { return tml + Time(k)*tql }
+	tm1 := tm(1)
+	tmN := tm(m.N)
+
+	var out []CurvePoint
+	for r := lo; r <= hi+1e-12; r += step {
+		tc := Time(float64(tm1) / r)
+		p := CurvePoint{Ratio: r, SpeedupByK: make([]float64, m.N)}
+		for k := 1; k <= m.N; k++ {
+			s := m.Speedup(tmN, tm(k), tc, k)
+			p.SpeedupByK[k-1] = s
+			if p.BestK == 0 || s > p.Speedup {
+				p.BestK, p.Speedup = k, s
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// RegionBoundary returns the Tm_k/Tc value at which MTL=k stops
+// keeping all cores busy — the analytic peak of the S-MTL=k region
+// (Equation 1): k/(n-k). Panics for k outside [1, n-1].
+func (m Model) RegionBoundary(k int) float64 {
+	if k < 1 || k >= m.N {
+		panic(fmt.Sprintf("core: RegionBoundary k=%d with n=%d", k, m.N))
+	}
+	return float64(k) / float64(m.N-k)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"memthrottle/internal/sim"
+)
+
+func TestRegionBoundaries(t *testing.T) {
+	m := NewModel(4)
+	want := map[int]float64{1: 1.0 / 3, 2: 1.0, 3: 3.0}
+	for k, v := range want {
+		if got := m.RegionBoundary(k); math.Abs(got-v) > 1e-12 {
+			t.Errorf("boundary(%d) = %g, want %g", k, got, v)
+		}
+	}
+	for _, bad := range []int{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegionBoundary(%d): no panic", bad)
+				}
+			}()
+			m.RegionBoundary(bad)
+		}()
+	}
+}
+
+func TestSpeedupCurveShape(t *testing.T) {
+	m := NewModel(4)
+	// Paper-regime law: Tql/Tml ~ 0.33.
+	tml, tql := 105*sim.Microsecond, 34*sim.Microsecond
+	pts := m.SpeedupCurve(tml, tql, 0.05, 4.0, 0.05)
+
+	// S-MTL is nondecreasing in ratio and spans 1..4.
+	prev := 0
+	peak := 0.0
+	for _, p := range pts {
+		if p.BestK < prev {
+			t.Fatalf("S-MTL regressed at ratio %.2f", p.Ratio)
+		}
+		prev = p.BestK
+		if p.Speedup > peak {
+			peak = p.Speedup
+		}
+		if p.Speedup < 1-1e-12 {
+			t.Errorf("best speedup below 1 at ratio %.2f", p.Ratio)
+		}
+	}
+	if pts[0].BestK != 1 || pts[len(pts)-1].BestK != 4 {
+		t.Errorf("curve does not span S-MTL 1..4: first %d last %d",
+			pts[0].BestK, pts[len(pts)-1].BestK)
+	}
+	if peak < 1.1 || peak > 1.35 {
+		t.Errorf("analytic peak %.3f outside the paper regime", peak)
+	}
+
+	// The S-MTL=1 region must end shortly after ratio 1/3: the idle
+	// condition flips there, and the k=1/k=2 speedup crossover sits
+	// slightly above the boundary.
+	var lastK1 float64
+	for _, p := range pts {
+		if p.BestK == 1 {
+			lastK1 = p.Ratio
+		}
+	}
+	b := m.RegionBoundary(1)
+	if lastK1 < b-1e-9 || lastK1 > b+0.15 {
+		t.Errorf("S-MTL=1 region ends at %.2f, want within [%.3f, %.3f]", lastK1, b, b+0.15)
+	}
+}
+
+func TestSpeedupCurveHillWithinRegion(t *testing.T) {
+	// Within the S-MTL=2 region the curve rises then falls (the
+	// hill shape of §VI-A).
+	m := NewModel(4)
+	pts := m.SpeedupCurve(105*sim.Microsecond, 34*sim.Microsecond, 0.48, 0.99, 0.03)
+	rising := pts[1].Speedup > pts[0].Speedup
+	falling := pts[len(pts)-1].Speedup < pts[len(pts)-2].Speedup
+	if !rising || !falling {
+		t.Errorf("S-MTL=2 region not hill-shaped: rising=%v falling=%v", rising, falling)
+	}
+	for _, p := range pts {
+		if p.BestK != 2 {
+			t.Fatalf("ratio %.2f picked S-MTL=%d inside the k=2 region", p.Ratio, p.BestK)
+		}
+	}
+}
+
+func TestSpeedupCurvePanics(t *testing.T) {
+	m := NewModel(4)
+	for name, fn := range map[string]func(){
+		"zero tml":  func() { m.SpeedupCurve(0, sim.Microsecond, 0.1, 1, 0.1) },
+		"neg tql":   func() { m.SpeedupCurve(sim.Microsecond, -1, 0.1, 1, 0.1) },
+		"zero step": func() { m.SpeedupCurve(sim.Microsecond, sim.Microsecond, 0.1, 1, 0) },
+		"bad range": func() { m.SpeedupCurve(sim.Microsecond, sim.Microsecond, 2, 1, 0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,120 @@
+// Package core implements the paper's contribution: the analytical
+// performance model for memory-task throttling (§IV-A), IdleBound
+// phase-change detection (§IV-B), binary-search MTL selection
+// (§IV-C), and the run-time controllers that drive them. Everything
+// here is engine-agnostic pure logic: the same controllers run inside
+// the discrete-event scheduler simulation (internal/simsched) and the
+// real-goroutine runtime (package host).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"memthrottle/internal/sim"
+)
+
+// Time is the virtual-time type used throughout measurements; it
+// aliases sim.Time so controllers stay engine-agnostic in signature.
+type Time = sim.Time
+
+// Model is the analytical model for an n-core machine (Table I uses n
+// for the number of processor cores; with SMT enabled it is the
+// number of schedulable hardware threads).
+type Model struct {
+	N int
+}
+
+// NewModel returns a model for n cores. Panics on n < 2: throttling
+// below two contexts is meaningless.
+func NewModel(n int) Model {
+	if n < 2 {
+		panic(fmt.Sprintf("core: model needs n >= 2 cores, got %d", n))
+	}
+	return Model{N: n}
+}
+
+// CoresIdle reports whether the MTL=k constraint leaves cores idle
+// (Equation 1): Tm_k/Tc > k/(n-k). At k >= n there is no constraint,
+// so cores never idle because of it.
+func (m Model) CoresIdle(tmK, tc sim.Time, k int) bool {
+	if k >= m.N {
+		return false
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("core: CoresIdle with k = %d", k))
+	}
+	if tc <= 0 || tmK <= 0 {
+		panic(fmt.Sprintf("core: CoresIdle with tmK = %v, tc = %v", tmK, tc))
+	}
+	return float64(tmK)/float64(tc) > float64(k)/float64(m.N-k)
+}
+
+// Speedup predicts the speedup of MTL=k over the unthrottled MTL=n
+// schedule (§IV-A):
+//
+//	all cores busy:  (Tm_n + Tc) / (Tm_k + Tc)
+//	some cores idle: (Tm_n + Tc) * k / (Tm_k * n)
+func (m Model) Speedup(tmN, tmK, tc sim.Time, k int) float64 {
+	if tmN <= 0 || tmK <= 0 || tc <= 0 {
+		panic(fmt.Sprintf("core: Speedup with tmN=%v tmK=%v tc=%v", tmN, tmK, tc))
+	}
+	if m.CoresIdle(tmK, tc, k) {
+		return float64(tmN+tc) * float64(k) / (float64(tmK) * float64(m.N))
+	}
+	return float64(tmN+tc) / float64(tmK+tc)
+}
+
+// ExecTime predicts the steady-state execution time of t pairs under
+// MTL=k (Fig. 9): the all-busy pipeline (Tm_k+Tc)*t/n, or the
+// memory-bound bound Tm_k*t/k when cores idle.
+func (m Model) ExecTime(tmK, tc sim.Time, k, t int) sim.Time {
+	if t <= 0 {
+		panic(fmt.Sprintf("core: ExecTime with t = %d", t))
+	}
+	if m.CoresIdle(tmK, tc, k) {
+		return tmK * sim.Time(t) / sim.Time(k)
+	}
+	return (tmK + tc) * sim.Time(t) / sim.Time(m.N)
+}
+
+// RecommendWindow suggests a monitor window W for a program with the
+// given number of task pairs, encoding the Fig. 15 sensitivity result:
+// larger W measures Tm/Tc more accurately, but monitoring more than
+// ~8% of a short program's pairs per probe costs more than it buys
+// (dft, with 96 pairs, degrades beyond W = 8 while streamcluster and
+// SIFT are happy at 16). Bounds: [4, 16].
+func RecommendWindow(pairs int) int {
+	if pairs < 1 {
+		panic(fmt.Sprintf("core: RecommendWindow with %d pairs", pairs))
+	}
+	w := pairs / 12
+	if w < 4 {
+		return 4
+	}
+	if w > 16 {
+		return 16
+	}
+	return w
+}
+
+// IdleBound returns the minimum MTL at which all cores stay busy,
+// estimated from a single measurement (Tm at the current MTL): the
+// smallest k with Tm/Tc <= k/(n-k), i.e. ceil(R*n/(1+R)) for
+// R = Tm/Tc, clamped to [1, n]. Using the current-MTL Tm for every
+// candidate k is the approximation the run-time detector can afford;
+// the selector then refines with real probes.
+func (m Model) IdleBound(tm, tc sim.Time) int {
+	if tm <= 0 || tc <= 0 {
+		panic(fmt.Sprintf("core: IdleBound with tm=%v tc=%v", tm, tc))
+	}
+	r := float64(tm) / float64(tc)
+	k := int(math.Ceil(r * float64(m.N) / (1 + r)))
+	if k < 1 {
+		k = 1
+	}
+	if k > m.N {
+		k = m.N
+	}
+	return k
+}

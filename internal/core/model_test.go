@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"memthrottle/internal/sim"
+)
+
+const us = sim.Microsecond
+
+func TestNewModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=1 accepted")
+		}
+	}()
+	NewModel(1)
+}
+
+func TestCoresIdleQuadCoreBoundaries(t *testing.T) {
+	m := NewModel(4)
+	// Fig. 8(a): at MTL=1 all cores are busy iff Tm1 <= Tc/3.
+	if m.CoresIdle(1*us, 3*us, 1) {
+		t.Error("Tm1 = Tc/3 must keep all cores busy at MTL=1")
+	}
+	if !m.CoresIdle(1.01*us, 3*us, 1) {
+		t.Error("Tm1 just above Tc/3 must idle cores at MTL=1")
+	}
+	// Fig. 8(b): at MTL=2 all cores are busy iff Tm2 <= Tc.
+	if m.CoresIdle(1*us, 1*us, 2) {
+		t.Error("Tm2 = Tc must keep all cores busy at MTL=2")
+	}
+	if !m.CoresIdle(1.01*us, 1*us, 2) {
+		t.Error("Tm2 just above Tc must idle cores at MTL=2")
+	}
+	// MTL = n imposes no constraint.
+	if m.CoresIdle(100*us, 1*us, 4) {
+		t.Error("MTL=n reported idle cores")
+	}
+}
+
+func TestSpeedupFormulas(t *testing.T) {
+	m := NewModel(4)
+	// All busy at k=1: Tm1=1, Tc=3(>=3*Tm1), Tm4=2:
+	// speedup = (Tm4+Tc)/(Tm1+Tc) = 5/4.
+	got := m.Speedup(2*us, 1*us, 3*us, 1)
+	if math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("all-busy speedup = %g, want 1.25", got)
+	}
+	// Some idle at k=1: Tm1=2, Tc=1, Tm4=3:
+	// speedup = (Tm4+Tc)*1/(Tm1*4) = 4/8 = 0.5.
+	got = m.Speedup(3*us, 2*us, 1*us, 1)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("some-idle speedup = %g, want 0.5", got)
+	}
+	// k = n is the baseline itself: speedup exactly 1.
+	got = m.Speedup(3*us, 3*us, 1*us, 4)
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("speedup at k=n = %g, want 1", got)
+	}
+}
+
+func TestExecTime(t *testing.T) {
+	m := NewModel(4)
+	// All busy: (Tm+Tc)*t/n.
+	if got := m.ExecTime(1*us, 3*us, 1, 8); math.Abs(float64(got-8*us)) > 1e-15 {
+		t.Errorf("all-busy exec time = %v, want 8us", got)
+	}
+	// Some idle: Tm*t/k.
+	if got := m.ExecTime(2*us, 1*us, 1, 8); math.Abs(float64(got-16*us)) > 1e-15 {
+		t.Errorf("idle exec time = %v, want 16us", got)
+	}
+}
+
+func TestIdleBoundPaperExamples(t *testing.T) {
+	m := NewModel(4)
+	// §IV-B: Tm/Tc = 0.1 -> all cores busy at MTL=1.
+	if got := m.IdleBound(1*us, 10*us); got != 1 {
+		t.Errorf("IdleBound(0.1) = %d, want 1", got)
+	}
+	// Tm/Tc = 0.5 -> cores idle at MTL=1, all busy at MTL=2.
+	if got := m.IdleBound(1*us, 2*us); got != 2 {
+		t.Errorf("IdleBound(0.5) = %d, want 2", got)
+	}
+	// Very memory-bound: bound saturates at n.
+	if got := m.IdleBound(100*us, 1*us); got != 4 {
+		t.Errorf("IdleBound(100) = %d, want 4", got)
+	}
+}
+
+// Property: IdleBound is consistent with CoresIdle — all cores busy at
+// the bound, idle just below it (when the bound > 1).
+func TestIdleBoundConsistencyProperty(t *testing.T) {
+	prop := func(rRaw uint16, nRaw uint8) bool {
+		n := int(nRaw)%14 + 2
+		r := float64(rRaw)/8192 + 1e-4 // Tm/Tc in (0, ~8]
+		m := NewModel(n)
+		tc := sim.Time(1 * us)
+		tm := sim.Time(r) * tc
+		b := m.IdleBound(tm, tc)
+		if b < 1 || b > n {
+			return false
+		}
+		if m.CoresIdle(tm, tc, b) {
+			return false // bound must be all-busy
+		}
+		if b > 1 && !m.CoresIdle(tm, tc, b-1) {
+			return false // below the bound must idle
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: among all-busy MTLs, lower k has (weakly) higher speedup;
+// among idle MTLs, higher k is (weakly) better — the paper's pruning
+// argument (§IV-C) — under the linear contention law.
+func TestPruningOptimalityProperty(t *testing.T) {
+	prop := func(tmlRaw, tqlRaw, tcRaw uint16, nRaw uint8) bool {
+		n := int(nRaw)%7 + 2
+		m := NewModel(n)
+		tml := sim.Time(tmlRaw%1000+1) * us / 100
+		tql := sim.Time(tqlRaw%400+1) * us / 100
+		tc := sim.Time(tcRaw%2000+1) * us / 100
+		tm := func(k int) sim.Time { return tml + sim.Time(k)*tql }
+		tmN := tm(n)
+
+		bestK, bestS := 0, -1.0
+		for k := 1; k <= n; k++ {
+			if s := m.Speedup(tmN, tm(k), tc, k); s > bestS {
+				bestK, bestS = k, s
+			}
+		}
+		// Find the candidates the selector would compare.
+		noIdle := n
+		for k := 1; k <= n; k++ {
+			if !m.CoresIdle(tm(k), tc, k) {
+				noIdle = k
+				break
+			}
+		}
+		sNoIdle := m.Speedup(tmN, tm(noIdle), tc, noIdle)
+		sBest := sNoIdle
+		if noIdle > 1 {
+			if s := m.Speedup(tmN, tm(noIdle-1), tc, noIdle-1); s > sBest {
+				sBest = s
+			}
+		}
+		_ = bestK
+		return math.Abs(sBest-bestS) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecommendWindow(t *testing.T) {
+	cases := map[int]int{
+		1:    4,  // tiny programs still need a window
+		96:   8,  // dft: the Fig. 15 sweet spot
+		192:  16, // caps at 16
+		384:  16, // streamcluster
+		1344: 16, // SIFT
+	}
+	for pairs, want := range cases {
+		if got := RecommendWindow(pairs); got != want {
+			t.Errorf("RecommendWindow(%d) = %d, want %d", pairs, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RecommendWindow(0): no panic")
+		}
+	}()
+	RecommendWindow(0)
+}
+
+func TestPanicsOnBadInputs(t *testing.T) {
+	m := NewModel(4)
+	for name, fn := range map[string]func(){
+		"CoresIdle k=0":  func() { m.CoresIdle(us, us, 0) },
+		"CoresIdle tc=0": func() { m.CoresIdle(us, 0, 1) },
+		"Speedup tm=0":   func() { m.Speedup(0, us, us, 1) },
+		"IdleBound tm=0": func() { m.IdleBound(0, us) },
+		"ExecTime t=0":   func() { m.ExecTime(us, us, 1, 0) },
+		"Selector k=9":   func() { NewSelector(m).Record(9, Measurement{Tm: us, Tc: us}) },
+		"Selector zero":  func() { NewSelector(m).Record(1, Measurement{}) },
+		"Dynamic W=0":    func() { NewDynamic(m, 0) },
+		"Online W=0":     func() { NewOnlineExhaustive(m, 0, 0.1) },
+		"Record postdone": func() {
+			s := NewSelector(m)
+			drive(s, func(int) Measurement { return Measurement{Tm: us, Tc: 10 * us} })
+			s.Record(1, Measurement{Tm: us, Tc: us})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

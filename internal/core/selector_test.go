@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"memthrottle/internal/sim"
+)
+
+// drive runs a selector to completion against a measurement oracle.
+func drive(s *Selector, oracle func(k int) Measurement) int {
+	for {
+		k, done := s.NextProbe()
+		if done {
+			d, ok := s.Decision()
+			if !ok {
+				panic("done without decision")
+			}
+			return d
+		}
+		s.Record(k, oracle(k))
+	}
+}
+
+// lawOracle builds a measurement oracle from the linear contention law.
+func lawOracle(tml, tql, tc sim.Time) func(k int) Measurement {
+	return func(k int) Measurement {
+		return Measurement{Tm: tml + sim.Time(k)*tql, Tc: tc}
+	}
+}
+
+func TestSelectorComputeBoundPicksOne(t *testing.T) {
+	// Tm1/Tc = 0.1: all cores busy at MTL=1, so D-MTL must be 1.
+	m := NewModel(4)
+	s := NewSelector(m)
+	d := drive(s, lawOracle(0.8*us, 0.2*us, 10*us))
+	if d != 1 {
+		t.Errorf("D-MTL = %d, want 1", d)
+	}
+	if s.NoIdleBound() != 1 {
+		t.Errorf("NoIdleBound = %d, want 1", s.NoIdleBound())
+	}
+}
+
+func TestSelectorMemoryBoundComparesCandidates(t *testing.T) {
+	// A memory-heavy ratio where MTL=1 idles cores: the selector must
+	// land on either MTL_NoIdle or MTL_Idle, whichever the model
+	// favours, and never the unthrottled n.
+	m := NewModel(4)
+	s := NewSelector(m)
+	// Tm1 = 1.4us, Tc = 2.8us: R(1) = 0.5 > 1/3 -> idle at 1.
+	// Tm2 = 1.8us: R(2) = 0.64 <= 1 -> all busy at 2.
+	d := drive(s, lawOracle(us, 0.4*us, 2.8*us))
+	if d != 1 && d != 2 {
+		t.Fatalf("D-MTL = %d, want 1 or 2", d)
+	}
+	if s.NoIdleBound() != 2 {
+		t.Errorf("NoIdleBound = %d, want 2", s.NoIdleBound())
+	}
+}
+
+func TestSelectorProbeBudget(t *testing.T) {
+	// The point of binary search: at most 2 + ceil(log2 n) probes.
+	for _, n := range []int{2, 4, 8, 16} {
+		m := NewModel(n)
+		s := NewSelector(m)
+		drive(s, lawOracle(us, 0.4*us, 2*us))
+		budget := 2 + int(math.Ceil(math.Log2(float64(n))))
+		if s.Probes() > budget {
+			t.Errorf("n=%d: %d probes, budget %d", n, s.Probes(), budget)
+		}
+	}
+}
+
+func TestSelectorDecisionStable(t *testing.T) {
+	m := NewModel(4)
+	s := NewSelector(m)
+	d1 := drive(s, lawOracle(us, 0.4*us, 2.8*us))
+	if k, done := s.NextProbe(); !done || k != 0 {
+		t.Error("NextProbe after decision not done")
+	}
+	d2, ok := s.Decision()
+	if !ok || d1 != d2 {
+		t.Error("decision changed on re-read")
+	}
+}
+
+// Property: under the linear law, the selector's choice achieves the
+// maximum model-predicted speedup over all k in [1, n] — i.e. the
+// two-candidate pruning loses nothing (§IV-C).
+func TestSelectorOptimalUnderLawProperty(t *testing.T) {
+	prop := func(tmlRaw, tqlRaw, tcRaw uint16, nRaw uint8) bool {
+		n := int(nRaw)%7 + 2
+		m := NewModel(n)
+		tml := sim.Time(tmlRaw%1000+1) * us / 100
+		tql := sim.Time(tqlRaw%400+1) * us / 100
+		tc := sim.Time(tcRaw%2000+1) * us / 100
+		oracle := lawOracle(tml, tql, tc)
+
+		s := NewSelector(m)
+		d := drive(s, oracle)
+
+		tmN := oracle(n).Tm
+		bestS := -1.0
+		for k := 1; k <= n; k++ {
+			if sp := m.Speedup(tmN, oracle(k).Tm, tc, k); sp > bestS {
+				bestS = sp
+			}
+		}
+		got := m.Speedup(tmN, oracle(d).Tm, tc, d)
+		return got >= bestS-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: even against an adversarial oracle that violates the
+// monotone contention law, the selector terminates within its probe
+// budget and returns a legal MTL. The run-time must never wedge on a
+// misbehaving machine.
+func TestSelectorRobustToAdversarialOracleProperty(t *testing.T) {
+	prop := func(tmRaw [16]uint16, tcRaw uint16, nRaw uint8) bool {
+		n := int(nRaw)%15 + 2
+		m := NewModel(n)
+		tc := sim.Time(tcRaw%500+1) * us / 100
+		oracle := func(k int) Measurement {
+			return Measurement{Tm: sim.Time(tmRaw[k%16]%2000+1) * us / 100, Tc: tc}
+		}
+		s := NewSelector(m)
+		steps := 0
+		for {
+			k, done := s.NextProbe()
+			if done {
+				break
+			}
+			steps++
+			if steps > n+4 {
+				return false // runaway search
+			}
+			if k < 1 || k > n {
+				return false
+			}
+			s.Record(k, oracle(k))
+		}
+		d, ok := s.Decision()
+		return ok && d >= 1 && d <= n && s.Probes() <= 3+bits(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bits returns ceil(log2(n)).
+func bits(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Property: the linear selector probes every MTL exactly once and its
+// decision is the argmax over its own measurements.
+func TestLinearSelectorProperty(t *testing.T) {
+	prop := func(tmlRaw, tqlRaw, tcRaw uint16, nRaw uint8) bool {
+		n := int(nRaw)%7 + 2
+		m := NewModel(n)
+		tml := sim.Time(tmlRaw%1000+1) * us / 100
+		tql := sim.Time(tqlRaw%400+1) * us / 100
+		tc := sim.Time(tcRaw%2000+1) * us / 100
+		oracle := lawOracle(tml, tql, tc)
+		s := NewLinearSelector(m)
+		d := drive(s, oracle)
+		if s.Probes() != n {
+			return false
+		}
+		tmN := oracle(n).Tm
+		bestS := -1.0
+		for k := 1; k <= n; k++ {
+			if sp := m.Speedup(tmN, oracle(k).Tm, tc, k); sp > bestS {
+				bestS = sp
+			}
+		}
+		return m.Speedup(tmN, oracle(d).Tm, tc, d) >= bestS-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the binary search always converges with NoIdleBound equal
+// to the true minimum all-busy MTL under the law.
+func TestSelectorNoIdleBoundProperty(t *testing.T) {
+	prop := func(tmlRaw, tqlRaw, tcRaw uint16, nRaw uint8) bool {
+		n := int(nRaw)%7 + 2
+		m := NewModel(n)
+		tml := sim.Time(tmlRaw%1000+1) * us / 100
+		tql := sim.Time(tqlRaw%400+1) * us / 100
+		tc := sim.Time(tcRaw%2000+1) * us / 100
+		oracle := lawOracle(tml, tql, tc)
+
+		// Skip inputs sitting exactly on an idle boundary
+		// (Tm_k/Tc == k/(n-k)): there the selector's pooled-mean Tc
+		// may flip the comparison by one ulp, which is immaterial —
+		// both neighbouring MTLs have identical predicted speedup.
+		for k := 1; k < n; k++ {
+			r := float64(oracle(k).Tm) / float64(tc)
+			if math.Abs(r-m.RegionBoundary(k)) < 1e-9 {
+				return true
+			}
+		}
+
+		s := NewSelector(m)
+		drive(s, oracle)
+
+		want := n
+		for k := 1; k <= n; k++ {
+			if !m.CoresIdle(oracle(k).Tm, tc, k) {
+				want = k
+				break
+			}
+		}
+		return s.NoIdleBound() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

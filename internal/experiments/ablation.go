@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memthrottle/internal/core"
+	"memthrottle/internal/machine"
+	"memthrottle/internal/sim"
+	"memthrottle/internal/stream"
+	"memthrottle/internal/workload"
+)
+
+// wobbleProgram builds a many-phase program whose memory-to-compute
+// ratio wanders inside one IdleBound region: every phase change is
+// measurable, none warrants a new MTL. It is the adversarial input for
+// fine-grained phase triggers.
+func wobbleProgram(lib workload.Library) *stream.Program {
+	ratios := []float64{0.10, 0.14, 0.11, 0.15, 0.09, 0.13, 0.10, 0.16}
+	specs := make([]stream.PhaseSpec, len(ratios))
+	for i, r := range ratios {
+		specs[i] = stream.PhaseSpec{
+			Name:        fmt.Sprintf("wobble-%d", i),
+			Pairs:       64,
+			MemBytes:    workload.Footprint,
+			ComputeTime: sim.Time(float64(lib.Mem.TaskTime(workload.Footprint, 1)) / r),
+		}
+	}
+	return stream.Build("wobble", specs...)
+}
+
+// AblationPhaseDetect contrasts the paper's IdleBound-based phase
+// detection with a naive trigger that re-selects on any >10% ratio
+// movement (§IV-B's rejected design) on a ratio-wobbling workload.
+func AblationPhaseDetect(e Env) Table {
+	t := Table{
+		ID:    "A1",
+		Title: "Phase detection ablation on a ratio-wobbling workload",
+		Columns: []string{"detector", "speedup", "selections", "probe windows",
+			"monitored pairs"},
+	}
+	cfg := e.Cfg()
+	model := Model(cfg)
+	prog := wobbleProgram(e.Lib())
+
+	type variant struct {
+		name string
+		mk   func() core.Throttler
+	}
+	for _, v := range []variant{
+		{"IdleBound (paper)", func() core.Throttler { return core.NewDynamic(model, e.W) }},
+		{"naive ratio >10%", func() core.Throttler {
+			return core.NewDynamicOpts(model, e.W, core.DynamicOptions{NaiveRatioTrigger: 0.10})
+		}},
+	} {
+		s, rep := e.Speedup(prog, cfg, v.mk)
+		t.AddRow(v.name, f3(s), fmt.Sprintf("%d", len(rep.MTLDecisions)),
+			fmt.Sprintf("%d", rep.TotalProbes), fmt.Sprintf("%d", rep.MonitoredPairs))
+	}
+	t.Notes = append(t.Notes,
+		"every wobble phase shifts the ratio but not the idle behaviour: the coarse detector should select once")
+	return t
+}
+
+// AblationSearch contrasts binary-search MTL selection (Fig. 11) with
+// the naive linear probe of every MTL, on SIFT at 4 and 8 hardware
+// threads. The probe-window gap is the monitoring cost §IV-C prunes.
+func AblationSearch(e Env) Table {
+	t := Table{
+		ID:      "A2",
+		Title:   "MTL search ablation on SIFT",
+		Columns: []string{"threads", "search", "speedup", "probe windows"},
+	}
+	prog := e.Lib().SIFT()
+	for _, smt := range []bool{false, true} {
+		cfg := e.Cfg()
+		if smt {
+			cfg.Machine = machine.I7860().WithSMT(2)
+		}
+		model := Model(cfg)
+		threads := cfg.Machine.HardwareThreads()
+		for _, lin := range []bool{false, true} {
+			lin := lin
+			name := "binary (paper)"
+			if lin {
+				name = "linear"
+			}
+			s, rep := e.Speedup(prog, cfg, func() core.Throttler {
+				return core.NewDynamicOpts(model, e.W, core.DynamicOptions{LinearSearch: lin})
+			})
+			t.AddRow(fmt.Sprintf("%d", threads), name, f3(s), fmt.Sprintf("%d", rep.TotalProbes))
+		}
+	}
+	return t
+}

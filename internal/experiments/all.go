@@ -1,0 +1,65 @@
+package experiments
+
+import "memthrottle/internal/workload"
+
+// Spec names one runnable experiment.
+type Spec struct {
+	ID   string
+	Desc string
+	Run  func(Env) Table
+}
+
+// Catalog lists every regenerable artifact, in paper order. Fig. 13's
+// three footprints use a coarser default step than the paper's 0.01 so
+// the whole catalog stays runnable in minutes; cmd/mtlbench exposes
+// the step as a flag.
+func Catalog() []Spec {
+	fig13 := func(footprint float64) func(Env) Table {
+		return func(e Env) Table {
+			return Fig13(e, footprint, 0.1, 4.0, 0.1, 64)
+		}
+	}
+	return []Spec{
+		{"C1", "DRAM contention calibration (grounds the fluid model)", CalibrationC1},
+		{"T2", "Table II: workload memory-to-compute ratios", Table2},
+		{"T3", "Table III: SIFT per-function ratios", Table3},
+		{"F13a", "Fig. 13(a): synthetic sweep, 0.5 MB footprint", fig13(512 << 10)},
+		{"F13b", "Fig. 13(b): synthetic sweep, 1 MB footprint", fig13(1 << 20)},
+		{"F13c", "Fig. 13(c): synthetic sweep, 2 MB footprint (LLC overflow)", fig13(2 << 20)},
+		{"F14", "Fig. 14: realistic workloads, three policies", Fig14},
+		{"F15", "Fig. 15: monitor window (W) sensitivity", Fig15},
+		{"F16", "Fig. 16: SIFT per-function adaptation", Fig16},
+		{"F17", "Fig. 17: streamcluster input sets", Fig17},
+		{"F18", "Fig. 18: 2-DIMM scaling without and with SMT", Fig18},
+		{"X1", "§VI-B monitoring overhead contrast", OverheadX1},
+		{"X2", "§VI-A analytical model error statistics", ModelErrorX2},
+		{"A1", "Ablation: IdleBound phase detection vs naive ratio trigger", AblationPhaseDetect},
+		{"A2", "Ablation: binary-search vs linear MTL probing", AblationSearch},
+		{"A3", "Ablation: DRAM hit-first scheduling vs FCFS (contention law)", ControllerAblation},
+		{"N1", "Sensitivity: throttling gains vs per-task noise (convoy dissolution)", NoiseSensitivity},
+		{"P1", "§VIII future work: POWER7-style 32-thread scaling", Power7Scale},
+	}
+}
+
+// Find returns the spec with the given ID, or false.
+func Find(id string) (Spec, bool) {
+	for _, s := range Catalog() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// SyntheticPeak is a tiny convenience used by examples: the measured
+// best-case synthetic speedup near the Fig. 13 sweet spot.
+func SyntheticPeak(e Env) float64 {
+	pts := Fig13Sweep(e, workload.Footprint, 0.30, 0.40, 0.05, 64)
+	best := 0.0
+	for _, p := range pts {
+		if p.Measured > best {
+			best = p.Measured
+		}
+	}
+	return best
+}

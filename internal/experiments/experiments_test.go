@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"memthrottle/internal/workload"
+)
+
+var (
+	envOnce sync.Once
+	testEnv Env
+	envErr  error
+)
+
+// env returns a shared quick environment; calibration is expensive.
+func env(t *testing.T) Env {
+	t.Helper()
+	envOnce.Do(func() { testEnv, envErr = DefaultEnv(true) })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return testEnv
+}
+
+func TestDefaultEnvCalibration(t *testing.T) {
+	e := env(t)
+	if e.Cal1.R2 < 0.9 || e.Cal2.R2 < 0.85 {
+		t.Errorf("calibration fits weak: R2 = %.3f / %.3f", e.Cal1.R2, e.Cal2.R2)
+	}
+	if e.Mem1.TqlPerByte <= e.Mem2.TqlPerByte {
+		t.Error("2-DIMM queueing not below 1-DIMM")
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{"C1", "T2", "T3", "F13a", "F13b", "F13c", "F14", "F15",
+		"F16", "F17", "F18", "X1", "X2", "A1", "A2", "A3", "N1", "P1"}
+	got := Catalog()
+	if len(got) != len(want) {
+		t.Fatalf("catalog has %d entries, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Errorf("catalog[%d] = %s, want %s", i, got[i].ID, id)
+		}
+	}
+	if _, ok := Find("F14"); !ok {
+		t.Error("Find(F14) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+}
+
+func TestTable2RatiosMatchPaper(t *testing.T) {
+	tab := Table2(env(t))
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Table II rows = %d, want 7", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		paper := parsePct(t, row[1])
+		got := parsePct(t, row[2])
+		if rel := math.Abs(got-paper) / paper; rel > 0.02 {
+			t.Errorf("%s: measured %s vs paper %s", row[0], row[2], row[1])
+		}
+	}
+}
+
+func TestTable3RatiosMatchPaper(t *testing.T) {
+	tab := Table3(env(t))
+	if len(tab.Rows) != len(workload.SIFTFunctions) {
+		t.Fatalf("Table III rows = %d, want %d", len(tab.Rows), len(workload.SIFTFunctions))
+	}
+	for _, row := range tab.Rows {
+		paper := parsePct(t, row[1])
+		got := parsePct(t, row[2])
+		if rel := math.Abs(got-paper) / paper; rel > 0.02 {
+			t.Errorf("%s: measured %s vs paper %s", row[0], row[2], row[1])
+		}
+	}
+}
+
+func TestFig13ShapeInvariants(t *testing.T) {
+	pts := Fig13Sweep(env(t), workload.Footprint, 0.15, 4.0, 0.35, 48)
+	prevSMTL := 0
+	peak := 0.0
+	for _, p := range pts {
+		if p.SMTL < prevSMTL {
+			t.Errorf("S-MTL regressed from %d to %d at ratio %.2f", prevSMTL, p.SMTL, p.Ratio)
+		}
+		prevSMTL = p.SMTL
+		if p.Measured > peak {
+			peak = p.Measured
+		}
+		if p.Measured < 0.97 {
+			t.Errorf("best static MTL slower than conventional at ratio %.2f: %.3f", p.Ratio, p.Measured)
+		}
+	}
+	if pts[0].SMTL != 1 {
+		t.Errorf("low-ratio S-MTL = %d, want 1", pts[0].SMTL)
+	}
+	if last := pts[len(pts)-1]; last.SMTL != 4 {
+		t.Errorf("ratio-4 S-MTL = %d, want 4 (no throttling gain)", last.SMTL)
+	}
+	if peak < 1.12 || peak > 1.30 {
+		t.Errorf("peak synthetic speedup %.3f, want within [1.12, 1.30] (paper ~1.21)", peak)
+	}
+}
+
+func TestFig13ModelTracksMeasurement(t *testing.T) {
+	pts := Fig13Sweep(env(t), workload.Footprint, 0.2, 3.2, 0.5, 48)
+	for _, p := range pts {
+		if p.MeasuredError > 0.10 {
+			t.Errorf("ratio %.2f: model error %.1f%%, want <= 10%%", p.Ratio, 100*p.MeasuredError)
+		}
+	}
+}
+
+func TestFig13cOverflows(t *testing.T) {
+	pts := Fig13Sweep(env(t), 2<<20, 0.4, 0.6, 0.2, 48)
+	sawMiss := false
+	for _, p := range pts {
+		if p.MissFraction > 0 {
+			sawMiss = true
+		}
+	}
+	if !sawMiss {
+		t.Error("2 MB sweep produced no LLC overflow misses")
+	}
+}
+
+func TestFig14HeadlineShape(t *testing.T) {
+	tab := Fig14(env(t))
+	rows := map[string][]string{}
+	for _, r := range tab.Rows {
+		rows[r[0]] = r
+	}
+	gmean := parseF(t, rows["gmean"][3])
+	if gmean < 1.05 || gmean > 1.20 {
+		t.Errorf("dynamic gmean speedup %.3f, want within [1.05, 1.20] (paper ~1.12)", gmean)
+	}
+	sc := parseF(t, rows["SC_d128"][3])
+	if sc < 1.10 {
+		t.Errorf("streamcluster dynamic speedup %.3f, want >= 1.10 (paper ~1.21)", sc)
+	}
+	// dft's D-MTL must be 1 (§VI-B).
+	if rows["dft"][4] != "1" {
+		t.Errorf("dft D-MTL = %s, want 1", rows["dft"][4])
+	}
+	// Dynamic tracks offline within a few percent on every workload.
+	for _, name := range []string{"dft", "SC_d128", "SIFT"} {
+		off := parseF(t, rows[name][1])
+		dyn := parseF(t, rows[name][3])
+		if dyn < off-0.05 {
+			t.Errorf("%s: dynamic %.3f far below offline %.3f", name, dyn, off)
+		}
+	}
+}
+
+func TestFig17InputAdaptation(t *testing.T) {
+	tab := Fig17(env(t))
+	for _, r := range tab.Rows {
+		ratio := parsePct(t, r[1])
+		dmtl := r[5]
+		if ratio <= 0.33 && !strings.HasPrefix(dmtl, "1") {
+			t.Errorf("%s (ratio %s): D-MTL %s, want 1 (all busy at MTL=1)", r[0], r[1], dmtl)
+		}
+		if ratio > 0.45 && strings.HasPrefix(dmtl, "1") && !strings.Contains(dmtl, ",") {
+			t.Errorf("%s (ratio %s): D-MTL %s, want >= 2", r[0], r[1], dmtl)
+		}
+	}
+}
+
+func TestFig18LowerSpeedupThan1DIMM(t *testing.T) {
+	e := env(t)
+	tab := Fig18(e)
+	// 4-thread rows come first; their dynamic speedups should sit
+	// below the 1-DIMM SC number and above ~1.0.
+	for _, r := range tab.Rows {
+		if r[1] != "4" {
+			continue
+		}
+		s := parseF(t, r[4])
+		if s < 0.97 || s > 1.15 {
+			t.Errorf("2-DIMM 4-thread %s speedup %.3f outside [0.97, 1.15]", r[0], s)
+		}
+	}
+}
+
+func TestOverheadX1Contrast(t *testing.T) {
+	tab := OverheadX1(env(t))
+	if len(tab.Rows) != 4 {
+		t.Fatal("X1 must have dynamic and online rows at 4 and 8 threads")
+	}
+	// 4 threads: binary search must not probe more than the sweep.
+	if dyn, onl := parseF(t, tab.Rows[0][4]), parseF(t, tab.Rows[1][4]); dyn > onl {
+		t.Errorf("4T: dynamic probe windows (%v) above online (%v)", dyn, onl)
+	}
+	// 8 threads: the pruning must clearly win.
+	if dyn, onl := parseF(t, tab.Rows[2][4]), parseF(t, tab.Rows[3][4]); dyn >= onl {
+		t.Errorf("8T: dynamic probe windows (%v) not below online (%v)", dyn, onl)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	e := env(t)
+	a1 := AblationPhaseDetect(e)
+	if len(a1.Rows) != 2 {
+		t.Fatal("A1 rows")
+	}
+	paperSel := parseF(t, a1.Rows[0][2])
+	naiveSel := parseF(t, a1.Rows[1][2])
+	if naiveSel < paperSel {
+		t.Errorf("naive trigger selected less often (%v) than IdleBound (%v) on wobble", naiveSel, paperSel)
+	}
+	a2 := AblationSearch(e)
+	if len(a2.Rows) != 4 {
+		t.Fatal("A2 rows")
+	}
+	// At n=4 a binary search saves little (2+log2(4) = n); it must at
+	// least not probe more. At n=8 (SMT rows) the pruning must win.
+	if bin, lin := parseF(t, a2.Rows[0][3]), parseF(t, a2.Rows[1][3]); bin > lin {
+		t.Errorf("n=4: binary probes (%v) above linear (%v)", bin, lin)
+	}
+	if bin, lin := parseF(t, a2.Rows[2][3]), parseF(t, a2.Rows[3][3]); bin >= lin {
+		t.Errorf("n=8: binary probes (%v) not below linear (%v)", bin, lin)
+	}
+}
+
+func TestFig15WindowSweepShape(t *testing.T) {
+	tab := Fig15(env(t))
+	if len(tab.Rows) != 3 || len(tab.Rows[0]) != 5 {
+		t.Fatalf("F15 shape wrong: %dx%d", len(tab.Rows), len(tab.Rows[0]))
+	}
+	// dft (96 pairs): large windows must not beat small ones — the
+	// §VI-C monitoring-overhead story.
+	w4 := parseF(t, tab.Rows[0][1])
+	w24 := parseF(t, tab.Rows[0][4])
+	if w24 > w4+0.02 {
+		t.Errorf("dft W=24 speedup %.3f above W=4 %.3f", w24, w4)
+	}
+}
+
+func TestFig16PhaseChoices(t *testing.T) {
+	tab := Fig16(env(t))
+	rows := map[string][]string{}
+	for _, r := range tab.Rows {
+		rows[r[0]] = r
+	}
+	// The two §VI-D1 anchor cases: memory-bound ECONVOLVE throttles
+	// above 1; compute-bound ECONVOLVE2 settles at 1.
+	if got := rows["ECONVOLVE"][5]; got == "1" || got == "-" {
+		t.Errorf("ECONVOLVE D-MTL = %s, want >= 2", got)
+	}
+	if got := rows["ECONVOLVE2"][5]; got != "1" {
+		t.Errorf("ECONVOLVE2 D-MTL = %s, want 1", got)
+	}
+	if got := rows["ECONVOLVE"][3]; got != "2" && got != "3" {
+		t.Errorf("ECONVOLVE offline MTL = %s, want 2 or 3", got)
+	}
+}
+
+func TestFig18SMTRowsPresent(t *testing.T) {
+	tab := Fig18(env(t))
+	if len(tab.Rows) != 6 {
+		t.Fatalf("F18 rows = %d, want 6", len(tab.Rows))
+	}
+	saw8 := false
+	for _, r := range tab.Rows {
+		if r[1] == "8" {
+			saw8 = true
+			if s := parseF(t, r[4]); s < 0.95 {
+				t.Errorf("SMT %s dynamic speedup %.3f below 0.95", r[0], s)
+			}
+		}
+	}
+	if !saw8 {
+		t.Fatal("no SMT rows")
+	}
+}
+
+func TestModelErrorX2Summary(t *testing.T) {
+	tab := ModelErrorX2(env(t))
+	if len(tab.Rows) != 1 {
+		t.Fatal("X2 shape")
+	}
+	mean := parsePct(t, tab.Rows[0][1])
+	if mean > 0.08 {
+		t.Errorf("mean model error %.1f%%, want <= 8%%", 100*mean)
+	}
+}
+
+func TestSyntheticPeakHelper(t *testing.T) {
+	if p := SyntheticPeak(env(t)); p < 1.1 || p > 1.3 {
+		t.Errorf("SyntheticPeak = %.3f outside the paper band", p)
+	}
+}
+
+func TestControllerAblationShape(t *testing.T) {
+	tab := ControllerAblation(env(t))
+	if len(tab.Rows) != 3 {
+		t.Fatalf("A3 rows = %d, want 3", len(tab.Rows))
+	}
+	// FCFS must show a (much) higher contention ratio than batched
+	// scheduling: ping-pong row conflicts dominate without hit-first.
+	fcfs := parseF(t, tab.Rows[0][3])
+	frfcfs := parseF(t, tab.Rows[1][3])
+	if fcfs <= frfcfs {
+		t.Errorf("FCFS ratio %.2f not above FR-FCFS %.2f", fcfs, frfcfs)
+	}
+}
+
+func TestNoiseSensitivityShape(t *testing.T) {
+	tab := NoiseSensitivity(env(t))
+	if len(tab.Rows) != 4 {
+		t.Fatalf("N1 rows = %d, want 4", len(tab.Rows))
+	}
+	// The baseline contention ratio must fall as noise grows — the
+	// convoy-dissolution finding.
+	first := parseF(t, tab.Rows[0][4])
+	last := parseF(t, tab.Rows[len(tab.Rows)-1][4])
+	if last >= first {
+		t.Errorf("contention ratio did not fall with noise: %.2f -> %.2f", first, last)
+	}
+	// And with it the offline speedup.
+	sFirst := parseF(t, tab.Rows[0][1])
+	sLast := parseF(t, tab.Rows[len(tab.Rows)-1][1])
+	if sLast >= sFirst {
+		t.Errorf("offline speedup did not fall with noise: %.3f -> %.3f", sFirst, sLast)
+	}
+}
+
+func TestPower7ScaleRuns(t *testing.T) {
+	tab := Power7Scale(env(t))
+	if len(tab.Rows) != 3 {
+		t.Fatalf("P1 rows = %d, want 3", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if s := parseF(t, r[1]); s < 0.9 || s > 2.0 {
+			t.Errorf("%s: 32-thread dynamic speedup %.3f implausible", r[0], s)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "n")
+	s := tab.String()
+	for _, want := range []string{"== X: demo ==", "a", "bb", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percent %q", s)
+	}
+	return v / 100
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q", s)
+	}
+	return v
+}

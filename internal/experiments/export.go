@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+)
+
+// CSV renders the table as RFC-4180 CSV: a header row of columns
+// followed by the data rows. Notes are emitted as trailing comment
+// records ("#note", text) so nothing is lost on round trips.
+func (t Table) CSV() (string, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(t.Columns); err != nil {
+		return "", fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return "", fmt.Errorf("experiments: csv row %d has %d cells, want %d", i, len(row), len(t.Columns))
+		}
+		if err := w.Write(row); err != nil {
+			return "", fmt.Errorf("experiments: csv row %d: %w", i, err)
+		}
+	}
+	for _, n := range t.Notes {
+		if err := w.Write([]string{"#note", n}); err != nil {
+			return "", fmt.Errorf("experiments: csv note: %w", err)
+		}
+	}
+	w.Flush()
+	return buf.String(), w.Error()
+}
+
+// jsonTable is the stable JSON shape for exported tables.
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// JSON renders the table as an indented JSON document.
+func (t Table) JSON() (string, error) {
+	b, err := json.MarshalIndent(jsonTable{
+		ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes,
+	}, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: json: %w", err)
+	}
+	return string(b) + "\n", nil
+}
+
+// Render formats the table in the requested format: "text" (default),
+// "csv" or "json".
+func (t Table) Render(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return t.String(), nil
+	case "csv":
+		return t.CSV()
+	case "json":
+		return t.JSON()
+	default:
+		return "", fmt.Errorf("experiments: unknown format %q (want text, csv or json)", format)
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exportSample() Table {
+	t := Table{
+		ID:      "F0",
+		Title:   "sample",
+		Columns: []string{"workload", "speedup"},
+		Notes:   []string{"hello, world"},
+	}
+	t.AddRow("dft", "1.084")
+	t.AddRow(`tricky,"name"`, "1.2")
+	return t
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	out, err := exportSample().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not parse: %v\n%s", err, out)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want header+2 rows+note", len(recs))
+	}
+	if recs[0][0] != "workload" || recs[1][1] != "1.084" {
+		t.Errorf("content wrong: %v", recs)
+	}
+	if recs[2][0] != `tricky,"name"` {
+		t.Errorf("quoting broken: %q", recs[2][0])
+	}
+	if recs[3][0] != "#note" || recs[3][1] != "hello, world" {
+		t.Errorf("note record wrong: %v", recs[3])
+	}
+}
+
+func TestCSVRaggedRowRejected(t *testing.T) {
+	tab := exportSample()
+	tab.Rows = append(tab.Rows, []string{"only-one-cell"})
+	if _, err := tab.CSV(); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	out, err := exportSample().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got jsonTable
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if got.ID != "F0" || len(got.Rows) != 2 || got.Rows[0][0] != "dft" {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if len(got.Notes) != 1 {
+		t.Errorf("notes lost: %+v", got.Notes)
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	tab := exportSample()
+	for _, f := range []string{"", "text", "csv", "json"} {
+		if out, err := tab.Render(f); err != nil || out == "" {
+			t.Errorf("Render(%q): %v", f, err)
+		}
+	}
+	if _, err := tab.Render("xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

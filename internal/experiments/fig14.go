@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memthrottle/internal/core"
+	"memthrottle/internal/machine"
+	"memthrottle/internal/simsched"
+	"memthrottle/internal/stats"
+	"memthrottle/internal/stream"
+	"memthrottle/internal/workload"
+)
+
+// realWorkloads returns the Fig. 14 suite: dft, streamcluster on the
+// native input, and SIFT.
+func realWorkloads(lib workload.Library) []*stream.Program {
+	return []*stream.Program{lib.DFT(), lib.Streamcluster(128), lib.SIFT()}
+}
+
+// bestW returns the monitor window that suits the workload, capped at
+// the environment default: dft has only 96 pairs, so the paper's W>8
+// overheads dominate there (§VI-C).
+func bestW(prog *stream.Program, def int) int {
+	if w := core.RecommendWindow(prog.TotalPairs()); w < def {
+		return w
+	}
+	return def
+}
+
+// Fig14 regenerates the headline realistic-workload comparison: the
+// dynamic mechanism vs Offline Exhaustive Search and Online Exhaustive
+// Search, with 4-thread scheduling on the 1-DIMM platform.
+func Fig14(e Env) Table {
+	t := Table{
+		ID:    "F14",
+		Title: "Speedup of realistic workloads (4 threads, 1 DIMM)",
+		Columns: []string{"workload", "offline speedup", "offline MTL",
+			"dynamic speedup", "dynamic D-MTL", "online speedup", "online D-MTL"},
+	}
+	cfg := e.Cfg()
+	model := Model(cfg)
+	var off, dyn, onl []float64
+	for _, prog := range realWorkloads(e.Lib()) {
+		w := bestW(prog, e.W)
+		offK, offS := e.OfflineBest(prog, cfg)
+		dynS, dynRep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, w) })
+		onlS, onlRep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewOnlineExhaustive(model, w, 0.10) })
+		t.AddRow(prog.Name, f3(offS), fmt.Sprintf("%d", offK),
+			f3(dynS), mtlHistory(dynRep), f3(onlS), mtlHistory(onlRep))
+		off = append(off, offS)
+		dyn = append(dyn, dynS)
+		onl = append(onl, onlS)
+	}
+	t.AddRow("gmean", f3(stats.Geomean(off)), "-", f3(stats.Geomean(dyn)), "-",
+		f3(stats.Geomean(onl)), "-")
+	t.Notes = append(t.Notes,
+		"paper: dynamic ~12% gmean, up to ~20% on streamcluster, ~5% above online")
+	return t
+}
+
+// mtlHistory formats an adaptive policy's decision history compactly.
+func mtlHistory(res simsched.Result) string {
+	if len(res.MTLDecisions) == 0 {
+		return fmt.Sprintf("%d", res.FinalMTL)
+	}
+	if len(res.MTLDecisions) <= 3 {
+		s := ""
+		for i, k := range res.MTLDecisions {
+			if i > 0 {
+				s += ","
+			}
+			s += fmt.Sprintf("%d", k)
+		}
+		return s
+	}
+	return fmt.Sprintf("%d..%d(%d)", res.MTLDecisions[0],
+		res.MTLDecisions[len(res.MTLDecisions)-1], len(res.MTLDecisions))
+}
+
+// Fig15 regenerates the W-sensitivity study: dynamic speedup with
+// W in {4, 8, 16, 24} for each realistic workload.
+func Fig15(e Env) Table {
+	t := Table{
+		ID:      "F15",
+		Title:   "Dynamic-mechanism speedup vs monitor window W",
+		Columns: []string{"workload", "W=4", "W=8", "W=16", "W=24"},
+	}
+	cfg := e.Cfg()
+	model := Model(cfg)
+	for _, prog := range realWorkloads(e.Lib()) {
+		row := []string{prog.Name}
+		for _, w := range []int{4, 8, 16, 24} {
+			w := w
+			s, _ := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, w) })
+			row = append(row, f3(s))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: dft (96 pairs) degrades for W>8; streamcluster and SIFT are fine at W=16")
+	return t
+}
+
+// Fig16 regenerates the SIFT per-phase study: D-MTL chosen by the
+// dynamic mechanism for each parallel function vs the per-function
+// offline best.
+func Fig16(e Env) Table {
+	t := Table{
+		ID:    "F16",
+		Title: "Speedup and D-MTL of main parallel functions in SIFT",
+		Columns: []string{"function", "paper Tm1/Tc", "offline speedup", "offline MTL",
+			"dynamic speedup", "dynamic MTL"},
+	}
+	lib := e.Lib()
+	cfg := e.Cfg()
+	model := Model(cfg)
+
+	// One full-SIFT dynamic run per rep gives the per-phase MTL; the
+	// per-phase speedup comes from standalone phase runs.
+	_, rep := e.runTrimmed(lib.SIFT(), cfg, func() core.Throttler { return core.NewDynamic(model, e.W) })
+
+	for i, f := range workload.SIFTFunctions {
+		phase := lib.SIFTPhase(f.Name)
+		offK, offS := e.OfflineBest(phase, cfg)
+		dynS, _ := e.Speedup(phase, cfg, func() core.Throttler { return core.NewDynamic(model, 8) })
+		dynMTL := "-"
+		if i < len(rep.PhaseMTL) {
+			dynMTL = fmt.Sprintf("%d", rep.PhaseMTL[i])
+		}
+		t.AddRow(f.Name, pct(f.Ratio), f3(offS), fmt.Sprintf("%d", offK), f3(dynS), dynMTL)
+	}
+	t.Notes = append(t.Notes,
+		"paper: ECONVOLVE picks MTL=2, ECONVOLVE2 switches to MTL=1; dynamic ~= offline")
+	return t
+}
+
+// Fig17 regenerates the streamcluster input-set study.
+func Fig17(e Env) Table {
+	t := Table{
+		ID:    "F17",
+		Title: "Speedup of streamcluster with different input dimensions",
+		Columns: []string{"input", "paper Tm1/Tc", "offline speedup", "offline MTL",
+			"dynamic speedup", "dynamic D-MTL"},
+	}
+	lib := e.Lib()
+	cfg := e.Cfg()
+	model := Model(cfg)
+	for _, dim := range workload.StreamclusterDims {
+		prog := lib.Streamcluster(dim)
+		paper, _ := workload.TableIIRatio(prog.Name)
+		offK, offS := e.OfflineBest(prog, cfg)
+		dynS, rep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, e.W) })
+		t.AddRow(prog.Name, pct(paper), f3(offS), fmt.Sprintf("%d", offK),
+			f3(dynS), mtlHistory(rep))
+	}
+	t.Notes = append(t.Notes,
+		"paper: D-MTL=1 for low-ratio inputs (e.g. d32), D-MTL=2 for d36 (54.13%)")
+	return t
+}
+
+// Fig18 regenerates the scalability study: the 2-DIMM (2-channel)
+// platform with 4 threads, then with 2-way SMT (8 threads).
+func Fig18(e Env) Table {
+	t := Table{
+		ID:    "F18",
+		Title: "Speedup on the 2-DIMM system, without and with SMT",
+		Columns: []string{"workload", "threads", "offline speedup", "offline MTL",
+			"dynamic speedup", "dynamic D-MTL"},
+	}
+	for _, smt := range []bool{false, true} {
+		cfg := e.Cfg2(smt)
+		model := Model(cfg)
+		threads := cfg.Machine.HardwareThreads()
+		for _, prog := range realWorkloads(e.Lib()) {
+			w := bestW(prog, e.W)
+			offK, offS := e.OfflineBest(prog, cfg)
+			dynS, rep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, w) })
+			t.AddRow(prog.Name, fmt.Sprintf("%d", threads), f3(offS),
+				fmt.Sprintf("%d", offK), f3(dynS), mtlHistory(rep))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: 3.0-9.1% at 4 threads (channel parallelism eases contention); larger again with SMT (streamcluster ~13%)")
+	return t
+}
+
+// OverheadX1 quantifies the §VI-B monitoring-overhead contrast between
+// the dynamic mechanism and Online Exhaustive Search on streamcluster.
+func OverheadX1(e Env) Table {
+	t := Table{
+		ID:    "X1",
+		Title: "Monitoring overhead: dynamic vs online exhaustive (SC_d128)",
+		Columns: []string{"threads", "policy", "overhead %% of runtime", "monitored pairs",
+			"probe windows", "speedup"},
+	}
+	prog := e.Lib().Streamcluster(128)
+	frac := func(r simsched.Result) float64 { return float64(r.OverheadTime) / float64(r.TotalTime) }
+	for _, smt := range []bool{false, true} {
+		cfg := e.Cfg()
+		if smt {
+			cfg.Machine = machine.I7860().WithSMT(2)
+		}
+		model := Model(cfg)
+		threads := fmt.Sprintf("%d", cfg.Machine.HardwareThreads())
+		dynS, dynRep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, e.W) })
+		onlS, onlRep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewOnlineExhaustive(model, e.W, 0.10) })
+		t.AddRow(threads, "dynamic", pct(frac(dynRep)), fmt.Sprintf("%d", dynRep.MonitoredPairs),
+			fmt.Sprintf("%d", dynRep.TotalProbes), f3(dynS))
+		t.AddRow(threads, "online", pct(frac(onlRep)), fmt.Sprintf("%d", onlRep.MonitoredPairs),
+			fmt.Sprintf("%d", onlRep.TotalProbes), f3(onlS))
+	}
+	t.Notes = append(t.Notes,
+		"paper: 0.04% overhead for the proposed mechanism vs 4.87% for online exhaustive",
+		"probe windows = W-pair groups spent measuring candidate MTLs rather than running the chosen one;",
+		"our cost model charges both policies identical per-pair instrumentation, so the contrast",
+		"shows in probe windows (binary search vs full sweeps), most visibly at 8 threads")
+	return t
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memthrottle/internal/core"
+	"memthrottle/internal/simsched"
+	"memthrottle/internal/stream"
+	"memthrottle/internal/workload"
+)
+
+// ratioAtMTL1 runs prog once at MTL=1 without noise and reports the
+// observed Tm1/Tc — ratios are workload properties, not noisy runs.
+func (e Env) ratioAtMTL1(prog *stream.Program) float64 {
+	cfg := e.Cfg()
+	cfg.NoiseSigma = 0
+	res := simsched.Run(prog, cfg, core.Fixed{K: 1})
+	return float64(res.MeanTm[1]) / float64(res.MeanTc)
+}
+
+// Table2 regenerates Table II: the memory-to-compute ratio of dft and
+// the six streamcluster inputs, measured at MTL=1 on the simulator and
+// compared to the published values.
+func Table2(e Env) Table {
+	t := Table{
+		ID:      "T2",
+		Title:   "Workload characteristics: memory-to-compute ratio (Tm1/Tc)",
+		Columns: []string{"workload", "paper Tm1/Tc", "measured Tm1/Tc", "pairs"},
+	}
+	lib := e.Lib()
+	add := func(prog *stream.Program, name string) {
+		paper, _ := workload.TableIIRatio(name)
+		t.AddRow(name, pct(paper), pct(e.ratioAtMTL1(prog)), fmt.Sprintf("%d", prog.TotalPairs()))
+	}
+	add(lib.DFT(), "dft")
+	for _, dim := range workload.StreamclusterDims {
+		prog := lib.Streamcluster(dim)
+		add(prog, prog.Name)
+	}
+	t.Notes = append(t.Notes, "measured on the simulator at MTL=1; paper values from Table II")
+	return t
+}
+
+// Table3 regenerates Table III: per-function Tm1/Tc of SIFT.
+func Table3(e Env) Table {
+	t := Table{
+		ID:      "T3",
+		Title:   "Memory-to-compute ratio of parallel functions in SIFT",
+		Columns: []string{"function", "paper Tm1/Tc", "measured Tm1/Tc"},
+	}
+	lib := e.Lib()
+	for _, f := range workload.SIFTFunctions {
+		t.AddRow(f.Name, pct(f.Ratio), pct(e.ratioAtMTL1(lib.SIFTPhase(f.Name))))
+	}
+	return t
+}
+
+// CalibrationC1 reports the request-level DRAM calibration backing the
+// fluid contention model: measured Tm_k vs the linear fit.
+func CalibrationC1(e Env) Table {
+	t := Table{
+		ID:      "C1",
+		Title:   "DRAM contention calibration (512 KB task, request-level model)",
+		Columns: []string{"config", "k", "measured Tm_k (us)", "fit Tml+k*Tql (us)", "fit R2"},
+	}
+	for k := 1; k <= len(e.Cal1.Tm); k++ {
+		t.AddRow("1-DIMM", fmt.Sprintf("%d", k),
+			f2(e.Cal1.Tm[k-1].Micros()), f2(e.Cal1.TmK(k).Micros()), f3(e.Cal1.R2))
+	}
+	for k := 1; k <= len(e.Cal2.Tm); k++ {
+		t.AddRow("2-DIMM", fmt.Sprintf("%d", k),
+			f2(e.Cal2.Tm[k-1].Micros()), f2(e.Cal2.TmK(k).Micros()), f3(e.Cal2.R2))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("1-DIMM contention ratio Tm4/Tm1 = %.2f (paper regime ~1.8)",
+			float64(e.Cal1.Tm[3])/float64(e.Cal1.Tm[0])))
+	return t
+}

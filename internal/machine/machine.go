@@ -1,0 +1,197 @@
+// Package machine models the multicore CPU: cores with one or more
+// hardware threads (SMT). Compute work on a core is processor-shared
+// between the hardware threads that are actively computing, so two
+// co-scheduled compute tasks each stretch to twice their solo time —
+// exactly the "Tc is no longer a constant" effect the paper observes
+// when SMT is enabled (§VI-E). Memory tasks park on a hardware thread
+// without consuming issue width; they wait on DRAM, not the pipeline.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"memthrottle/internal/sim"
+)
+
+// Config describes the processor.
+type Config struct {
+	Cores   int // physical cores (paper: 4 on the i7-860)
+	SMTWays int // hardware threads per core (1 = SMT off, 2 = i7 SMT)
+}
+
+// I7860 returns the paper's evaluation machine: 4 cores, SMT
+// available but disabled by default (the paper enables it only in the
+// Fig. 18 scaling study).
+func I7860() Config { return Config{Cores: 4, SMTWays: 1} }
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("machine: Cores = %d, want >= 1", c.Cores)
+	}
+	if c.SMTWays < 1 {
+		return fmt.Errorf("machine: SMTWays = %d, want >= 1", c.SMTWays)
+	}
+	return nil
+}
+
+// HardwareThreads reports the total number of schedulable contexts.
+func (c Config) HardwareThreads() int { return c.Cores * c.SMTWays }
+
+// WithSMT returns a copy with the given SMT width.
+func (c Config) WithSMT(ways int) Config {
+	c.SMTWays = ways
+	return c
+}
+
+// Machine is a set of cores bound to a simulation engine.
+type Machine struct {
+	cfg   Config
+	cores []*Core
+}
+
+// New builds a machine. Panics on invalid configuration.
+func New(eng *sim.Engine, cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{cfg: cfg}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, newCore(eng, i))
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Cores returns all cores.
+func (m *Machine) Cores() []*Core { return m.cores }
+
+// Exec is one compute execution in flight on a core.
+type Exec struct {
+	core      *Core
+	seq       uint64  // start order; fixes callback ordering
+	remaining float64 // solo-seconds of work left
+	done      func()
+	active    bool
+}
+
+// Active reports whether the execution is still running.
+func (e *Exec) Active() bool { return e.active }
+
+// Core is one physical core: a processor-sharing server for compute
+// work. n concurrently computing hardware threads each progress at
+// rate 1/n.
+type Core struct {
+	eng        *sim.Engine
+	id         int
+	active     map[*Exec]struct{}
+	lastSettle sim.Time
+	next       *sim.Event
+	due        []*Exec // execs the pending event will complete
+	seq        uint64
+
+	busyTime sim.Time // integrated time with >= 1 active exec
+}
+
+func newCore(eng *sim.Engine, id int) *Core {
+	return &Core{eng: eng, id: id, active: make(map[*Exec]struct{})}
+}
+
+// ID reports the core index.
+func (c *Core) ID() int { return c.id }
+
+// ActiveCompute reports the number of compute executions in flight.
+func (c *Core) ActiveCompute() int { return len(c.active) }
+
+// BusyTime reports the total time this core had at least one compute
+// execution active (used for idle accounting).
+func (c *Core) BusyTime() sim.Time {
+	c.settle()
+	return c.busyTime
+}
+
+func (c *Core) settle() {
+	now := c.eng.Now()
+	dt := float64(now - c.lastSettle)
+	c.lastSettle = now
+	if dt == 0 {
+		return
+	}
+	n := len(c.active)
+	if n == 0 {
+		return
+	}
+	c.busyTime += sim.Time(dt)
+	progress := dt / float64(n)
+	for e := range c.active {
+		e.remaining -= progress
+		if e.remaining < 0 {
+			e.remaining = 0
+		}
+	}
+}
+
+func (c *Core) reschedule() {
+	if c.next != nil {
+		c.next.Cancel()
+		c.next = nil
+	}
+	c.due = c.due[:0]
+	n := len(c.active)
+	if n == 0 {
+		return
+	}
+	minRem := -1.0
+	for e := range c.active {
+		if minRem < 0 || e.remaining < minRem {
+			minRem = e.remaining
+		}
+	}
+	// Remember which execs this event completes; re-deriving them from
+	// float comparisons at fire time can stall virtual time.
+	const relTol = 1e-12
+	for e := range c.active {
+		if e.remaining <= minRem*(1+relTol) {
+			c.due = append(c.due, e)
+		}
+	}
+	sort.Slice(c.due, func(i, j int) bool { return c.due[i].seq < c.due[j].seq })
+	c.next = c.eng.After(sim.Time(minRem*float64(n)), c.fire)
+}
+
+func (c *Core) fire() {
+	c.settle()
+	finished := append([]*Exec(nil), c.due...)
+	for _, e := range finished {
+		delete(c.active, e)
+		e.active = false
+		e.remaining = 0
+	}
+	c.reschedule()
+	for _, e := range finished {
+		if e.done != nil {
+			e.done()
+		}
+	}
+}
+
+// StartCompute begins a compute execution of the given solo duration
+// on this core; done fires at completion. Panics on non-positive
+// duration.
+func (c *Core) StartCompute(solo sim.Time, done func()) *Exec {
+	if solo <= 0 {
+		panic(fmt.Sprintf("machine: StartCompute(%v)", solo))
+	}
+	c.settle()
+	e := &Exec{core: c, seq: c.seq, remaining: float64(solo), done: done, active: true}
+	c.seq++
+	c.active[e] = struct{}{}
+	c.reschedule()
+	return e
+}

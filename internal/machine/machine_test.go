@@ -1,0 +1,149 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"memthrottle/internal/sim"
+)
+
+func approx(t *testing.T, got, want sim.Time, what string) {
+	t.Helper()
+	if math.Abs(float64(got-want)) > 1e-12 {
+		t.Errorf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := I7860().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Cores: 0, SMTWays: 1}).Validate(); err == nil {
+		t.Error("0 cores accepted")
+	}
+	if err := (Config{Cores: 4, SMTWays: 0}).Validate(); err == nil {
+		t.Error("0 SMT ways accepted")
+	}
+}
+
+func TestHardwareThreads(t *testing.T) {
+	if got := I7860().HardwareThreads(); got != 4 {
+		t.Errorf("i7 threads = %d, want 4", got)
+	}
+	if got := I7860().WithSMT(2).HardwareThreads(); got != 8 {
+		t.Errorf("i7 SMT threads = %d, want 8", got)
+	}
+}
+
+func TestSingleComputeRunsAtFullRate(t *testing.T) {
+	eng := sim.New()
+	m := New(eng, I7860())
+	var end sim.Time
+	m.Core(0).StartCompute(10*sim.Microsecond, func() { end = eng.Now() })
+	eng.Run()
+	approx(t, end, 10*sim.Microsecond, "solo compute")
+}
+
+func TestCoScheduledComputeHalves(t *testing.T) {
+	// Two equal compute tasks on one core (SMT) each take 2x solo.
+	eng := sim.New()
+	m := New(eng, I7860().WithSMT(2))
+	var endA, endB sim.Time
+	m.Core(0).StartCompute(10*sim.Microsecond, func() { endA = eng.Now() })
+	m.Core(0).StartCompute(10*sim.Microsecond, func() { endB = eng.Now() })
+	eng.Run()
+	approx(t, endA, 20*sim.Microsecond, "SMT compute A")
+	approx(t, endB, 20*sim.Microsecond, "SMT compute B")
+}
+
+func TestDifferentCoresDoNotInterfere(t *testing.T) {
+	eng := sim.New()
+	m := New(eng, I7860())
+	var endA, endB sim.Time
+	m.Core(0).StartCompute(10*sim.Microsecond, func() { endA = eng.Now() })
+	m.Core(1).StartCompute(10*sim.Microsecond, func() { endB = eng.Now() })
+	eng.Run()
+	approx(t, endA, 10*sim.Microsecond, "core 0")
+	approx(t, endB, 10*sim.Microsecond, "core 1")
+}
+
+func TestStaggeredSMTSharing(t *testing.T) {
+	// B joins when A is half done: A = 5us solo + 10us shared = 15us.
+	// B then runs 5us shared... B: joins at 5us with 10us work; shares
+	// until A ends at 15us (5us progress), finishes alone at 20us.
+	eng := sim.New()
+	m := New(eng, I7860().WithSMT(2))
+	var endA, endB sim.Time
+	m.Core(0).StartCompute(10*sim.Microsecond, func() { endA = eng.Now() })
+	eng.At(5*sim.Microsecond, func() {
+		m.Core(0).StartCompute(10*sim.Microsecond, func() { endB = eng.Now() })
+	})
+	eng.Run()
+	approx(t, endA, 15*sim.Microsecond, "staggered A")
+	approx(t, endB, 20*sim.Microsecond, "staggered B")
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	eng := sim.New()
+	m := New(eng, I7860())
+	c := m.Core(0)
+	c.StartCompute(10*sim.Microsecond, nil)
+	eng.Run()
+	// Idle gap, then more work.
+	eng.At(20*sim.Microsecond, func() { c.StartCompute(5*sim.Microsecond, nil) })
+	eng.Run()
+	approx(t, c.BusyTime(), 15*sim.Microsecond, "busy time")
+}
+
+func TestBusyTimeWithSMTCountsOnce(t *testing.T) {
+	// Two co-running tasks: the core is busy 20us, not 40.
+	eng := sim.New()
+	m := New(eng, I7860().WithSMT(2))
+	c := m.Core(0)
+	c.StartCompute(10*sim.Microsecond, nil)
+	c.StartCompute(10*sim.Microsecond, nil)
+	eng.Run()
+	approx(t, c.BusyTime(), 20*sim.Microsecond, "SMT busy time")
+}
+
+func TestStartComputePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	eng := sim.New()
+	New(eng, I7860()).Core(0).StartCompute(0, nil)
+}
+
+func TestExecActiveFlag(t *testing.T) {
+	eng := sim.New()
+	m := New(eng, I7860())
+	e := m.Core(0).StartCompute(sim.Microsecond, nil)
+	if !e.Active() {
+		t.Error("exec not active after start")
+	}
+	eng.Run()
+	if e.Active() {
+		t.Error("exec active after completion")
+	}
+}
+
+func TestCompletionCanChainWork(t *testing.T) {
+	eng := sim.New()
+	m := New(eng, I7860())
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		if count < 3 {
+			m.Core(0).StartCompute(sim.Microsecond, loop)
+		}
+	}
+	m.Core(0).StartCompute(sim.Microsecond, loop)
+	end := eng.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	approx(t, end, 3*sim.Microsecond, "chained work")
+}

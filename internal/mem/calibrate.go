@@ -1,0 +1,117 @@
+package mem
+
+import (
+	"fmt"
+
+	"memthrottle/internal/sim"
+	"memthrottle/internal/stats"
+)
+
+// MeasureTaskTime runs k concurrent closed-loop streams of memory
+// tasks through a fresh DRAM system and returns the steady-state mean
+// task duration. Each stream performs tasksPerStream back-to-back
+// tasks of footprint bytes over disjoint address regions; the first
+// task of every stream is discarded as warm-up. This is the simulated
+// analogue of the paper measuring Tm_k with gettimeofday() while MTL=k
+// (§V): k is exactly the number of memory tasks in flight.
+func MeasureTaskTime(cfg Config, k, tasksPerStream int, footprint int) (sim.Time, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("mem: MeasureTaskTime k = %d, want >= 1", k)
+	}
+	if tasksPerStream < 2 {
+		return 0, fmt.Errorf("mem: MeasureTaskTime needs >= 2 tasks per stream for warm-up trimming, got %d", tasksPerStream)
+	}
+	lines := footprint / cfg.LineBytes
+	if lines < 1 {
+		return 0, fmt.Errorf("mem: footprint %d smaller than one line (%d)", footprint, cfg.LineBytes)
+	}
+
+	eng := sim.New()
+	sys := NewSystem(eng, cfg)
+
+	var durations []float64
+	// Worker state machine: run task i, then task i+1, ...
+	var launch func(worker, task int)
+	linesPerRow := cfg.RowBytes / cfg.LineBytes
+	rowsPerTask := (lines + linesPerRow - 1) / linesPerRow
+	region := func(worker, task int) uint64 {
+		// Disjoint, row-aligned regions. The +1 row of slack breaks
+		// the bank-alignment that would otherwise march every stream
+		// through the same bank sequence in lockstep (a convoy the
+		// real machine's physical page allocation never produces).
+		idx := uint64(worker*tasksPerStream + task)
+		return idx * uint64(rowsPerTask+1) * uint64(cfg.RowBytes)
+	}
+	launch = func(worker, task int) {
+		if task >= tasksPerStream {
+			return
+		}
+		start := eng.Now()
+		sys.StartStream(region(worker, task), lines, func(finished sim.Time) {
+			if task > 0 { // skip warm-up task
+				durations = append(durations, float64(finished-start))
+			}
+			launch(worker, task+1)
+		})
+	}
+	for w := 0; w < k; w++ {
+		launch(w, 0)
+	}
+	eng.Run()
+	return sim.Time(stats.Mean(durations)), nil
+}
+
+// Calibration is the result of fitting the paper's contention law
+// Tm_k = Tml + k*Tql to measured steady-state task times.
+type Calibration struct {
+	Tml     sim.Time   // contention-free component (fit intercept)
+	Tql     sim.Time   // queueing latency per concurrent task (fit slope)
+	R2      float64    // goodness of the linear fit
+	Tm      []sim.Time // Tm[k-1] = measured mean task time under k streams
+	Tasklet int        // footprint bytes per task used during calibration
+}
+
+// TmK returns the fitted mean memory-task time under k concurrent
+// tasks for the calibration footprint.
+func (c Calibration) TmK(k int) sim.Time {
+	return c.Tml + sim.Time(k)*c.Tql
+}
+
+// PerByte returns the fitted (tml, tql) normalised per byte of task
+// footprint, for scaling to other footprints in the fluid model.
+func (c Calibration) PerByte() (tml, tql float64) {
+	f := float64(c.Tasklet)
+	return float64(c.Tml) / f, float64(c.Tql) / f
+}
+
+// Calibrate measures task times for k = 1..maxK concurrent streams and
+// fits the linear contention law. footprint is the per-task transfer
+// size in bytes (the paper keeps it below the per-core LLC share, e.g.
+// 0.5–2 MB); tasksPerStream controls measurement length.
+func Calibrate(cfg Config, maxK, tasksPerStream, footprint int) (Calibration, error) {
+	if maxK < 2 {
+		return Calibration{}, fmt.Errorf("mem: Calibrate needs maxK >= 2 to fit a line, got %d", maxK)
+	}
+	cal := Calibration{Tasklet: footprint}
+	var xs, ys []float64
+	for k := 1; k <= maxK; k++ {
+		tm, err := MeasureTaskTime(cfg, k, tasksPerStream, footprint)
+		if err != nil {
+			return Calibration{}, err
+		}
+		cal.Tm = append(cal.Tm, tm)
+		xs = append(xs, float64(k))
+		ys = append(ys, float64(tm))
+	}
+	fit, err := stats.FitLine(xs, ys)
+	if err != nil {
+		return Calibration{}, err
+	}
+	cal.Tml = sim.Time(fit.Intercept)
+	cal.Tql = sim.Time(fit.Slope)
+	cal.R2 = fit.R2
+	return cal, nil
+}

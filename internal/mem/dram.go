@@ -1,0 +1,463 @@
+// Package mem implements a request-level DRAM memory-system model:
+// channels, ranks, banks, open-page row buffers with FR-FCFS style
+// hit-first scheduling, and a shared data bus per channel. It is the
+// ground-truth substrate of the reproduction: the contention law the
+// paper assumes (Tm_k = Tml + k*Tql, §IV-C) is not hard-coded anywhere
+// — it emerges from concurrent request streams queueing on banks and
+// buses here, and calibration (calibrate.go) fits (Tml, Tql) from
+// measurements to parameterise the cheaper fluid model used in
+// full-program simulations.
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memthrottle/internal/sim"
+)
+
+// Config describes the memory-system geometry and timing. The defaults
+// approximate the paper's platform: DDR3-1066 SDRAM, 64-bit channel,
+// 8.5 GB/s per channel, one channel with two ranks (§V), 8 KB rows.
+type Config struct {
+	Channels        int // independent channels (1 = paper's 1-DIMM base)
+	RanksPerChannel int
+	BanksPerRank    int
+	RowBytes        int // row-buffer (page) size per bank
+	LineBytes       int // transfer granularity (cache line)
+
+	TCAS      sim.Time // column access (row already open)
+	TRCD      sim.Time // row activate
+	TRP       sim.Time // precharge on a row conflict
+	TBurst    sim.Time // data-bus occupancy per line transfer
+	TFrontEnd sim.Time // uncontended on-chip path + controller latency per request
+
+	// FrontJitter is the relative half-width of per-request front-end
+	// latency variation (cache-hierarchy and interconnect
+	// variability): each request's TFrontEnd is scaled uniformly in
+	// [1-FrontJitter, 1+FrontJitter]. Without it, closed-loop streams
+	// phase-lock into artificial conflict-free schedules that no real
+	// machine exhibits.
+	FrontJitter float64
+
+	// HitStreakCap bounds FR-FCFS reordering: at most this many row
+	// hits may bypass an older waiting request before the scheduler
+	// falls back to oldest-first, preventing starvation.
+	HitStreakCap int
+
+	// MaxOutstanding is the per-stream miss-level parallelism: how
+	// many line requests a single memory task keeps in flight
+	// (line-fill buffers feeding _mm_prefetch in the paper's tasks).
+	MaxOutstanding int
+
+	// ThinkTime is the mean core-side gap between a line completing
+	// and the stream issuing its next request: the store/index
+	// instructions of the gather loop (Fig. 12). Each gap is jittered
+	// uniformly in [0.5, 1.5]x by a seeded RNG.
+	ThinkTime sim.Time
+
+	// TREFI/TRFC model periodic DRAM refresh: every TREFI the whole
+	// channel stalls for TRFC. TREFI = 0 disables refresh (the
+	// default — refresh adds ~2% uniform latency, which the
+	// calibration would simply absorb into Tml; enable it for
+	// refresh-sensitivity studies).
+	TREFI sim.Time
+	TRFC  sim.Time
+
+	// Seed drives all jitter. Same seed, same run.
+	Seed int64
+}
+
+// DDR3_1066 returns the base configuration used throughout the
+// evaluation: a single 8.5 GB/s channel of DDR3 CL7 timing. A 64 B
+// line at 8.5 GB/s occupies the bus ~7.5 ns. TFrontEnd is the
+// uncontended core-to-controller round trip (L3 miss path on Nehalem,
+// ~45 ns), and MaxOutstanding = 4 models the line-fill parallelism a
+// single prefetching task sustains. Together they put one stream at
+// just under half of channel bandwidth — as on the real i7-860 — so
+// four unthrottled streams queue against each other with Tm4/Tm1 of
+// roughly 1.8-2, the regime where the paper measures up to ~1.2x
+// throttling speedup (Fig. 13).
+func DDR3_1066() Config {
+	return Config{
+		Channels:        1,
+		RanksPerChannel: 2,
+		BanksPerRank:    8,
+		RowBytes:        8192,
+		LineBytes:       64,
+		TCAS:            13 * sim.Nanosecond,
+		TRCD:            13 * sim.Nanosecond,
+		TRP:             13 * sim.Nanosecond,
+		TBurst:          7.5 * sim.Nanosecond,
+		TFrontEnd:       45 * sim.Nanosecond,
+		FrontJitter:     0.3,
+		HitStreakCap:    4,
+		MaxOutstanding:  4,
+		ThinkTime:       4 * sim.Nanosecond,
+		Seed:            1,
+	}
+}
+
+// WithChannels returns a copy of c with the channel count replaced;
+// used for the 2-DIMM scaling study (Fig. 18).
+func (c Config) WithChannels(n int) Config {
+	c.Channels = n
+	return c
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels < 1:
+		return fmt.Errorf("mem: Channels = %d, want >= 1", c.Channels)
+	case c.RanksPerChannel < 1:
+		return fmt.Errorf("mem: RanksPerChannel = %d, want >= 1", c.RanksPerChannel)
+	case c.BanksPerRank < 1:
+		return fmt.Errorf("mem: BanksPerRank = %d, want >= 1", c.BanksPerRank)
+	case c.LineBytes < 1:
+		return fmt.Errorf("mem: LineBytes = %d, want >= 1", c.LineBytes)
+	case c.RowBytes < c.LineBytes:
+		return fmt.Errorf("mem: RowBytes = %d smaller than LineBytes = %d", c.RowBytes, c.LineBytes)
+	case c.RowBytes%c.LineBytes != 0:
+		return fmt.Errorf("mem: RowBytes %d not a multiple of LineBytes %d", c.RowBytes, c.LineBytes)
+	case c.TCAS <= 0 || c.TRCD <= 0 || c.TRP <= 0 || c.TBurst <= 0:
+		return fmt.Errorf("mem: all DRAM timings must be positive")
+	case c.TFrontEnd < 0:
+		return fmt.Errorf("mem: TFrontEnd = %v, want >= 0", c.TFrontEnd)
+	case c.FrontJitter < 0 || c.FrontJitter > 1:
+		return fmt.Errorf("mem: FrontJitter = %g, want within [0, 1]", c.FrontJitter)
+	case c.HitStreakCap < 1:
+		return fmt.Errorf("mem: HitStreakCap = %d, want >= 1", c.HitStreakCap)
+	case c.MaxOutstanding < 1:
+		return fmt.Errorf("mem: MaxOutstanding = %d, want >= 1", c.MaxOutstanding)
+	case c.ThinkTime < 0:
+		return fmt.Errorf("mem: ThinkTime = %v, want >= 0", c.ThinkTime)
+	case c.TREFI < 0 || c.TRFC < 0:
+		return fmt.Errorf("mem: refresh timings TREFI=%v TRFC=%v, want >= 0", c.TREFI, c.TRFC)
+	case c.TREFI > 0 && c.TRFC >= c.TREFI:
+		return fmt.Errorf("mem: TRFC %v must be below TREFI %v", c.TRFC, c.TREFI)
+	}
+	return nil
+}
+
+// WithRefresh returns a copy of c with standard DDR3 refresh enabled
+// (tREFI = 7.8 us, tRFC = 160 ns).
+func (c Config) WithRefresh() Config {
+	c.TREFI = 7.8 * sim.Microsecond
+	c.TRFC = 160 * sim.Nanosecond
+	return c
+}
+
+// BandwidthPerChannel reports the peak data bandwidth of one channel
+// in bytes per second.
+func (c Config) BandwidthPerChannel() float64 {
+	return float64(c.LineBytes) / float64(c.TBurst)
+}
+
+// TotalBandwidth reports the aggregate peak bandwidth in bytes/sec.
+func (c Config) TotalBandwidth() float64 {
+	return c.BandwidthPerChannel() * float64(c.Channels)
+}
+
+// request is one line access queued at a bank.
+type request struct {
+	row  int64
+	seq  uint64 // arrival order, for oldest-first
+	done func()
+}
+
+// bank is one DRAM bank: an open-page row buffer plus its FR-FCFS
+// request queue.
+type bank struct {
+	openRow    int64 // -1 = no open row
+	busy       bool
+	queue      []*request
+	streak     int // row hits served past an older waiting request
+	lastServed sim.Time
+}
+
+// channel groups its banks with the shared data bus.
+type channel struct {
+	busFreeAt sim.Time
+	banks     []bank
+}
+
+// System is a request-level DRAM model bound to a simulation engine.
+type System struct {
+	cfg      Config
+	eng      *sim.Engine
+	channels []*channel
+	rng      *rand.Rand
+	arrivals uint64
+
+	// aggregate counters
+	reqs      uint64
+	rowHits   uint64
+	rowMiss   uint64
+	busBytes  uint64
+	refreshes uint64 // highest refresh epoch observed by any service
+}
+
+// NewSystem builds a DRAM system on the given engine. It panics on an
+// invalid configuration: a malformed memory geometry is a programming
+// error, not a runtime condition.
+func NewSystem(eng *sim.Engine, cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{cfg: cfg, eng: eng, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for i := 0; i < cfg.Channels; i++ {
+		ch := &channel{banks: make([]bank, cfg.RanksPerChannel*cfg.BanksPerRank)}
+		for b := range ch.banks {
+			ch.banks[b].openRow = -1
+		}
+		s.channels = append(s.channels, ch)
+	}
+	return s
+}
+
+// applyRefresh accounts for periodic refresh lazily, without keeping
+// the event queue alive: refresh k occupies [k*TREFI, k*TREFI+TRFC)
+// for k >= 1 and closes every row. Given a prospective service start
+// and the bank's previous service time, it returns the (possibly
+// stalled) start and clears the bank's row state if a refresh happened
+// in between.
+func (s *System) applyRefresh(bk *bank, start sim.Time) sim.Time {
+	if s.cfg.TREFI <= 0 {
+		return start
+	}
+	epoch := uint64(start / s.cfg.TREFI)
+	if epoch >= 1 {
+		if end := sim.Time(epoch)*s.cfg.TREFI + s.cfg.TRFC; start < end {
+			start = end
+		}
+		if uint64(bk.lastServed/s.cfg.TREFI) < epoch {
+			bk.openRow = -1
+			bk.streak = 0
+		}
+		if epoch > s.refreshes {
+			s.refreshes = epoch
+		}
+	}
+	return start
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats reports aggregate request counters.
+type Stats struct {
+	Requests  uint64
+	RowHits   uint64
+	RowMiss   uint64
+	BusBytes  uint64
+	Refreshes uint64
+}
+
+// Stats returns a snapshot of the aggregate counters.
+func (s *System) Stats() Stats {
+	return Stats{
+		Requests: s.reqs, RowHits: s.rowHits, RowMiss: s.rowMiss,
+		BusBytes: s.busBytes, Refreshes: s.refreshes,
+	}
+}
+
+// RowHitRate reports the fraction of requests that hit an open row.
+func (s *System) RowHitRate() float64 {
+	if s.reqs == 0 {
+		return 0
+	}
+	return float64(s.rowHits) / float64(s.reqs)
+}
+
+// BusUtilization reports the fraction of elapsed time the (first)
+// channel's data bus was transferring, a standard controller metric.
+func (s *System) BusUtilization() float64 {
+	now := float64(s.eng.Now())
+	if now == 0 {
+		return 0
+	}
+	bytesPerChannel := float64(s.busBytes) / float64(s.cfg.Channels)
+	return bytesPerChannel / s.cfg.BandwidthPerChannel() / now
+}
+
+// locate maps a byte address onto (channel, bank, row). Lines
+// interleave across channels; a row's bank comes from a multiplicative
+// hash of the row number, mirroring how OS physical-page allocation
+// scatters a virtual stream across banks. Sequential streams therefore
+// enjoy row-buffer hits within each row but collide on banks with
+// other streams at random — the conflict component of the interference
+// the paper throttles.
+func (s *System) locate(addr uint64) (chIdx, bankIdx int, row int64) {
+	line := addr / uint64(s.cfg.LineBytes)
+	chIdx = int(line % uint64(s.cfg.Channels))
+	linePerCh := line / uint64(s.cfg.Channels)
+	linesPerRow := uint64(s.cfg.RowBytes / s.cfg.LineBytes)
+	rowGlobal := linePerCh / linesPerRow
+	nBanks := uint64(s.cfg.RanksPerChannel * s.cfg.BanksPerRank)
+	const goldenGamma = 0x9E3779B97F4A7C15
+	bankIdx = int((rowGlobal * goldenGamma >> 32) % nBanks)
+	row = int64(rowGlobal)
+	return
+}
+
+// Access requests one line at addr; done (may be nil) fires at the
+// completion instant. The request crosses the jittered front-end
+// path, queues at its bank, is scheduled hit-first (FR-FCFS with a
+// starvation cap), and finally occupies the channel data bus for
+// TBurst.
+func (s *System) Access(addr uint64, done func()) {
+	chIdx, bankIdx, row := s.locate(addr)
+	ch := s.channels[chIdx]
+	fe := s.cfg.TFrontEnd
+	if s.cfg.FrontJitter > 0 {
+		fe *= sim.Time(1 + s.cfg.FrontJitter*(2*s.rng.Float64()-1))
+	}
+	req := &request{row: row, seq: s.arrivals, done: done}
+	s.arrivals++
+	s.eng.After(fe, func() {
+		bk := &ch.banks[bankIdx]
+		bk.queue = append(bk.queue, req)
+		s.serveBank(ch, bk)
+	})
+}
+
+// pick chooses the next request to serve at a bank: the oldest row
+// hit, unless the hit streak cap has been reached while an older
+// non-hit request waits, in which case the oldest request is served.
+func (s *System) pick(bk *bank) *request {
+	oldest := 0
+	hit := -1
+	for i, r := range bk.queue {
+		if r.seq < bk.queue[oldest].seq {
+			oldest = i
+		}
+		if r.row == bk.openRow && (hit == -1 || r.seq < bk.queue[hit].seq) {
+			hit = i
+		}
+	}
+	idx := oldest
+	if hit >= 0 && hit != oldest {
+		if bk.streak < s.cfg.HitStreakCap {
+			idx = hit
+			bk.streak++
+		} else {
+			bk.streak = 0
+		}
+	} else {
+		bk.streak = 0
+	}
+	r := bk.queue[idx]
+	bk.queue = append(bk.queue[:idx], bk.queue[idx+1:]...)
+	return r
+}
+
+// serveBank starts service of the next queued request if the bank is
+// idle. Completion schedules the next service.
+func (s *System) serveBank(ch *channel, bk *bank) {
+	if bk.busy || len(bk.queue) == 0 {
+		return
+	}
+	bk.busy = true
+	req := s.pick(bk)
+
+	now := s.applyRefresh(bk, s.eng.Now())
+	bk.lastServed = now
+	var lat sim.Time
+	hit := false
+	switch {
+	case bk.openRow == req.row:
+		lat = s.cfg.TCAS
+		hit = true
+		s.rowHits++
+	case bk.openRow == -1:
+		lat = s.cfg.TRCD + s.cfg.TCAS
+		s.rowMiss++
+	default:
+		lat = s.cfg.TRP + s.cfg.TRCD + s.cfg.TCAS
+		s.rowMiss++
+	}
+	bk.openRow = req.row
+
+	dataReady := now + lat
+	busStart := dataReady
+	if ch.busFreeAt > busStart {
+		busStart = ch.busFreeAt
+	}
+	complete := busStart + s.cfg.TBurst
+	ch.busFreeAt = complete
+
+	s.reqs++
+	s.busBytes += uint64(s.cfg.LineBytes)
+
+	// Row hits release the bank once their column access is done
+	// (the burst drains on the bus); activates occupy it until the
+	// transfer completes.
+	bankFree := complete
+	if hit {
+		bankFree = dataReady
+	}
+	s.eng.At(bankFree, func() {
+		bk.busy = false
+		s.serveBank(ch, bk)
+	})
+	if req.done != nil {
+		s.eng.At(complete, req.done)
+	}
+}
+
+// Stream issues a memory task's worth of sequential line requests,
+// keeping up to MaxOutstanding in flight, and calls done when the
+// final line completes. It models the paper's gather/scatter tasks:
+// a software-pipelined prefetch loop over a contiguous footprint.
+type Stream struct {
+	sys       *System
+	next      uint64
+	remaining int
+	inflight  int
+	done      func(finished sim.Time)
+	started   sim.Time
+}
+
+// StartStream begins a stream of `lines` sequential line accesses at
+// base. done receives the completion time. It panics on lines <= 0.
+func (s *System) StartStream(base uint64, lines int, done func(finished sim.Time)) *Stream {
+	if lines <= 0 {
+		panic(fmt.Sprintf("mem: StartStream with %d lines", lines))
+	}
+	st := &Stream{sys: s, next: base, remaining: lines, done: done, started: s.eng.Now()}
+	st.pump()
+	return st
+}
+
+// Started reports when the stream began issuing.
+func (st *Stream) Started() sim.Time { return st.started }
+
+// gap draws one jittered think-time sample.
+func (s *System) gap() sim.Time {
+	if s.cfg.ThinkTime == 0 {
+		return 0
+	}
+	return s.cfg.ThinkTime * sim.Time(0.5+s.rng.Float64())
+}
+
+func (st *Stream) pump() {
+	for st.inflight < st.sys.cfg.MaxOutstanding && st.remaining > 0 {
+		st.inflight++
+		st.remaining--
+		addr := st.next
+		st.next += uint64(st.sys.cfg.LineBytes)
+		st.sys.Access(addr, func() {
+			st.inflight--
+			if st.remaining > 0 {
+				// The core spends think-time on the gathered data
+				// before the next prefetch issues.
+				st.sys.eng.After(st.sys.gap(), st.pump)
+			}
+			if st.remaining == 0 && st.inflight == 0 && st.done != nil {
+				st.done(st.sys.eng.Now())
+				st.done = nil
+			}
+		})
+	}
+}

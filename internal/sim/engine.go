@@ -1,0 +1,168 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an event queue ordered by
+// (time, insertion sequence). All model time in this repository is
+// expressed in seconds as the float64-based Time type; helpers for
+// common units are provided. Determinism is guaranteed: two events
+// scheduled for the same instant fire in insertion order, so repeated
+// runs with the same inputs produce identical traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds.
+type Time float64
+
+// Common duration constants, in seconds.
+const (
+	Nanosecond  Time = 1e-9
+	Microsecond Time = 1e-6
+	Millisecond Time = 1e-3
+	Second      Time = 1
+)
+
+// Never is a sentinel representing an unreachable point in time.
+const Never Time = Time(math.MaxFloat64)
+
+// Micros reports t in microseconds. Useful for human-readable output.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time in microseconds with fixed precision.
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return fmt.Sprintf("%.3fus", t.Micros())
+}
+
+// Event is a scheduled callback. The callback runs with the engine
+// clock set to the event's due time.
+type Event struct {
+	due    Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once removed
+	dead   bool
+	engine *Engine
+}
+
+// Due reports when the event will fire.
+func (e *Event) Due() Time { return e.due }
+
+// Cancel removes the event from the queue. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e == nil || e.dead || e.index < 0 {
+		return
+	}
+	heap.Remove(&e.engine.queue, e.index)
+	e.dead = true
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	ev := &Event{due: t, seq: e.seq, fn: fn, engine: e}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop aborts a Run in progress after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step fires the next event, advancing the clock to its due time.
+// It reports false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.dead = true
+	e.now = ev.due
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue empties or Stop is called.
+// It returns the final clock value.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with due time <= deadline, then advances the
+// clock to deadline if it has not already passed it.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].due <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

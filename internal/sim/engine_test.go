@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(3*Microsecond, func() { got = append(got, 3) })
+	e.At(1*Microsecond, func() { got = append(got, 1) })
+	e.At(2*Microsecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*Microsecond {
+		t.Errorf("Now() = %v, want 3us", e.Now())
+	}
+}
+
+func TestEngineTieBreakInsertionOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Microsecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterAndNestedScheduling(t *testing.T) {
+	e := New()
+	var fired []Time
+	e.After(Microsecond, func() {
+		fired = append(fired, e.Now())
+		e.After(2*Microsecond, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != Microsecond || fired[1] != 3*Microsecond {
+		t.Fatalf("fired = %v, want [1us 3us]", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.After(Microsecond, func() { ran = true })
+	ev.Cancel()
+	ev.Cancel() // double-cancel is a no-op
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after cancel, want 0", e.Pending())
+	}
+}
+
+func TestEngineCancelOneOfMany(t *testing.T) {
+	e := New()
+	var got []int
+	evs := make([]*Event, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		evs[i] = e.At(Time(i+1)*Microsecond, func() { got = append(got, i) })
+	}
+	evs[2].Cancel()
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineCancelAfterFireNoop(t *testing.T) {
+	e := New()
+	ev := e.After(Microsecond, func() {})
+	e.Run()
+	ev.Cancel() // must not panic or corrupt the queue
+	if e.Pending() != 0 {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.After(2*Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(Microsecond, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Microsecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d after Stop, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	var fired int
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i)*Microsecond, func() { fired++ })
+	}
+	e.RunUntil(3 * Microsecond)
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+	if e.Now() != 3*Microsecond {
+		t.Fatalf("Now = %v, want 3us", e.Now())
+	}
+	// Deadline beyond all events advances the clock to the deadline.
+	e.RunUntil(10 * Microsecond)
+	if fired != 5 || e.Now() != 10*Microsecond {
+		t.Fatalf("fired=%d Now=%v, want 5 and 10us", fired, e.Now())
+	}
+}
+
+// Property: regardless of the order delays are scheduled in, events fire
+// in nondecreasing time order and the final clock equals the max delay.
+func TestEngineMonotonicProperty(t *testing.T) {
+	prop := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		e := New()
+		var last Time = -1
+		ok := true
+		var maxT Time
+		for _, d := range delaysRaw {
+			at := Time(d) * Nanosecond
+			if at > maxT {
+				maxT = at
+			}
+			e.At(at, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		end := e.Run()
+		return ok && end == maxT
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (2500 * Nanosecond).String(); got != "2.500us" {
+		t.Errorf("String() = %q, want 2.500us", got)
+	}
+	if got := Never.String(); got != "never" {
+		t.Errorf("Never.String() = %q", got)
+	}
+}

@@ -1,0 +1,128 @@
+package simsched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"memthrottle/internal/core"
+	"memthrottle/internal/sim"
+	"memthrottle/internal/stream"
+)
+
+// randomProgram decodes fuzz bytes into a small multi-phase program.
+func randomProgram(phaseSeeds []uint16) *stream.Program {
+	var specs []stream.PhaseSpec
+	for i, s := range phaseSeeds {
+		if i >= 4 {
+			break
+		}
+		pairs := int(s%13) + 1
+		ratioStep := float64(s%37)/10 + 0.05 // 0.05 .. 3.75
+		footprint := float64(64<<10) * (1 + float64(s%7))
+		tm1 := footprint * (1e-9 + 0.4e-9)
+		specs = append(specs, stream.PhaseSpec{
+			Name:        "p",
+			Pairs:       pairs,
+			MemBytes:    footprint,
+			ComputeTime: sim.Time(tm1 / ratioStep),
+		})
+		if s%5 == 0 {
+			specs[len(specs)-1].ScatterBytes = footprint / 2
+		}
+	}
+	if len(specs) == 0 {
+		return nil
+	}
+	return stream.Build("random", specs...)
+}
+
+// Property: every random program completes under every policy, with
+// exact task conservation and non-negative idle accounting.
+func TestRandomProgramsCompleteProperty(t *testing.T) {
+	prop := func(phaseSeeds []uint16, policyRaw uint8, seed int64) bool {
+		prog := randomProgram(phaseSeeds)
+		if prog == nil {
+			return true
+		}
+		c := cfg()
+		c.NoiseSigma = 0.01
+		c.Seed = seed
+		var th core.Throttler
+		switch policyRaw % 4 {
+		case 0:
+			th = core.Fixed{K: 4}
+		case 1:
+			th = core.Fixed{K: int(policyRaw)%4 + 1}
+		case 2:
+			th = core.NewDynamic(core.NewModel(4), int(policyRaw)%6+1)
+		default:
+			th = core.NewOnlineExhaustive(core.NewModel(4), int(policyRaw)%6+1, 0.10)
+		}
+		res := Run(prog, c, th)
+		if res.PairsCompleted != prog.TotalPairs() {
+			return false
+		}
+		if len(res.PhaseTimes) != len(prog.Phases) {
+			return false
+		}
+		if res.IdleTime < -1e-9 || res.TotalTime <= 0 {
+			return false
+		}
+		total := float64(res.BusyTime + res.IdleTime)
+		want := float64(res.TotalTime) * 4
+		return math.Abs(total-want) < 1e-6*want+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the MTL constraint holds for every fixed limit on random
+// programs (memory-task overlap never exceeds the limit).
+func TestRandomProgramsRespectMTLProperty(t *testing.T) {
+	prop := func(phaseSeeds []uint16, kRaw uint8, seed int64) bool {
+		prog := randomProgram(phaseSeeds)
+		if prog == nil {
+			return true
+		}
+		k := int(kRaw)%4 + 1
+		c := cfg()
+		c.Seed = seed
+		c.NoiseSigma = 0.01
+		c.RecordTrace = true
+		res := Run(prog, c, core.Fixed{K: k})
+		return res.Timeline.MaxMemoryOverlap() <= k
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total memory bytes moved are conserved — the pool sees
+// exactly the program's gather+scatter bytes (scaled by noise) as
+// actor starts, reflected in pair counts.
+func TestRandomProgramsPhaseBarrierProperty(t *testing.T) {
+	// Phase barrier: the i-th phase's time must be positive and the
+	// sum of phase times must equal the total run time.
+	prop := func(phaseSeeds []uint16, seed int64) bool {
+		prog := randomProgram(phaseSeeds)
+		if prog == nil {
+			return true
+		}
+		c := cfg()
+		c.Seed = seed
+		res := Run(prog, c, core.Fixed{K: 2})
+		var sum sim.Time
+		for _, pt := range res.PhaseTimes {
+			if pt <= 0 {
+				return false
+			}
+			sum += pt
+		}
+		return math.Abs(float64(sum-res.TotalTime)) < 1e-9*float64(res.TotalTime)+1e-15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

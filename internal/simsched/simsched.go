@@ -1,0 +1,461 @@
+// Package simsched executes stream programs on the simulated machine
+// under a throttling policy. It is the simulated analogue of the
+// paper's application-layer runtime (§V): per-hardware-thread workers
+// dequeue tasks from a work queue, a counter enforces the MTL
+// constraint on concurrent memory tasks, phases are separated by
+// barriers, and completed memory/compute pairs are reported to the
+// policy, which may retarget the MTL at any time.
+package simsched
+
+import (
+	"fmt"
+
+	"memthrottle/internal/cache"
+	"memthrottle/internal/contend"
+	"memthrottle/internal/core"
+	"memthrottle/internal/machine"
+	"memthrottle/internal/sim"
+	"memthrottle/internal/stats"
+	"memthrottle/internal/stream"
+	"memthrottle/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Machine machine.Config
+	Mem     contend.Params
+	// LLCBytes is the shared last-level cache capacity (paper: 8 MB).
+	LLCBytes float64
+	// ResidentOverheadBytes models the cache share permanently held
+	// by instructions, runtime structures and the OS — the "#
+	// instructions and data together" that tips 2 MB tasks over the
+	// edge in Fig. 13(c) while 0.5/1 MB tasks still fit.
+	ResidentOverheadBytes float64
+	// MonitorOverhead is charged to the completing worker for every
+	// pair the policy monitors (timer reads + bookkeeping).
+	MonitorOverhead sim.Time
+	// NoiseSigma injects log-normal task-duration jitter (system
+	// noise); 0 disables it. Seed makes runs reproducible.
+	NoiseSigma float64
+	Seed       int64
+	// RecordTrace captures a per-thread timeline in the result.
+	RecordTrace bool
+}
+
+// Default returns the paper's base configuration for the given fluid
+// memory parameters: the i7-860 machine, 8 MB LLC, and a 2 µs
+// monitoring cost per measured pair.
+func Default(mem contend.Params) Config {
+	return Config{
+		Machine:               machine.I7860(),
+		Mem:                   mem,
+		LLCBytes:              8 << 20,
+		ResidentOverheadBytes: 768 << 10,
+		MonitorOverhead:       2 * sim.Microsecond,
+		Seed:                  1,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if c.LLCBytes <= 0 {
+		return fmt.Errorf("simsched: LLCBytes = %g, want > 0", c.LLCBytes)
+	}
+	if c.ResidentOverheadBytes < 0 || c.ResidentOverheadBytes >= c.LLCBytes {
+		return fmt.Errorf("simsched: ResidentOverheadBytes = %g, want within [0, LLCBytes)", c.ResidentOverheadBytes)
+	}
+	if c.MonitorOverhead < 0 {
+		return fmt.Errorf("simsched: MonitorOverhead = %v, want >= 0", c.MonitorOverhead)
+	}
+	if c.NoiseSigma < 0 {
+		return fmt.Errorf("simsched: NoiseSigma = %g, want >= 0", c.NoiseSigma)
+	}
+	return nil
+}
+
+// Result summarises one run.
+type Result struct {
+	Policy     string
+	TotalTime  sim.Time
+	PhaseTimes []sim.Time
+
+	// Idle/busy accounting across all hardware threads: busy covers
+	// task execution and monitoring overhead.
+	BusyTime sim.Time
+	IdleTime sim.Time
+
+	PairsCompleted int
+	MonitoredPairs int
+	OverheadTime   sim.Time
+
+	FinalMTL     int
+	MTLDecisions []int // D-MTL history for adaptive policies
+	PhaseMTL     []int // MTL in force as each phase completed
+	TotalProbes  int   // candidate-MTL windows measured by the policy
+
+	// MeanTm[k] is the observed mean memory-task duration among tasks
+	// started while MTL=k was in force; MeanTc the overall mean
+	// compute duration.
+	MeanTm map[int]sim.Time
+	MeanTc sim.Time
+
+	// CacheMissFraction is the mean LLC miss fraction seen by compute
+	// tasks (nonzero only when live footprints overflow, Fig. 13c);
+	// LLCPeak is the maximum concurrently resident footprint.
+	CacheMissFraction float64
+	LLCPeak           float64
+
+	Timeline *trace.Timeline // nil unless Config.RecordTrace
+}
+
+// runner holds the live state of one simulation.
+type runner struct {
+	cfg   Config
+	prog  *stream.Program
+	th    core.Throttler
+	eng   *sim.Engine
+	mach  *machine.Machine
+	pool  *contend.Pool
+	llc   *cache.LLC
+	noise *stats.Noise
+
+	phase          int
+	phaseRemaining int
+	phaseStart     sim.Time
+	readyMem       []*taskRun
+	readyCompute   []*taskRun
+	activeMem      int
+
+	workers []*worker
+
+	res      Result
+	tmByK    map[int]*stats.Welford
+	tcAgg    stats.Welford
+	missAgg  stats.Welford
+	timeline *trace.Timeline
+}
+
+// taskRun is the runtime state of one task.
+type taskRun struct {
+	task  *stream.Task
+	pair  *pairRun
+	start sim.Time
+	mtlAt int // MTL in force when the task started (memory tasks)
+}
+
+// pairRun carries the measured durations shared by a pair's tasks.
+type pairRun struct {
+	gatherBytes  float64 // noised effective bytes
+	scatterBytes float64
+	computeWork  sim.Time // noised solo duration
+	gatherDur    sim.Time
+	computeDur   sim.Time
+}
+
+// worker is one hardware thread executing tasks.
+type worker struct {
+	id   int
+	core *machine.Core
+	idle bool
+}
+
+// Run executes prog under the given throttler and returns the result.
+// The throttler must be freshly constructed per run (it accumulates
+// state). Panics on invalid configuration or program: both are
+// programmer-supplied.
+func Run(prog *stream.Program, cfg Config, th core.Throttler) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if err := prog.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.New()
+	r := &runner{
+		cfg:   cfg,
+		prog:  prog,
+		th:    th,
+		eng:   eng,
+		mach:  machine.New(eng, cfg.Machine),
+		pool:  contend.NewPool(eng, cfg.Mem),
+		llc:   cache.NewLLC(cfg.LLCBytes),
+		noise: stats.NewNoise(cfg.NoiseSigma, cfg.Seed),
+		tmByK: make(map[int]*stats.Welford),
+	}
+	threads := cfg.Machine.HardwareThreads()
+	for i := 0; i < threads; i++ {
+		r.workers = append(r.workers, &worker{
+			id:   i,
+			core: r.mach.Core(i % cfg.Machine.Cores),
+			idle: true,
+		})
+	}
+	if cfg.RecordTrace {
+		r.timeline = trace.New(threads)
+	}
+	if cfg.ResidentOverheadBytes > 0 {
+		r.llc.Reserve(cfg.ResidentOverheadBytes)
+	}
+
+	r.enterPhase(0)
+	eng.Run()
+
+	if r.phase < len(prog.Phases) {
+		panic(fmt.Sprintf("simsched: deadlock — run ended in phase %d/%d with %d tasks left",
+			r.phase, len(prog.Phases), r.phaseRemaining))
+	}
+
+	r.res.Policy = th.Name()
+	r.res.TotalTime = eng.Now()
+	r.res.IdleTime = r.res.TotalTime*sim.Time(threads) - r.res.BusyTime
+	r.res.FinalMTL = th.MTL()
+	r.res.MTLDecisions = decisions(th)
+	r.res.TotalProbes = probes(th)
+	r.res.MeanTm = make(map[int]sim.Time, len(r.tmByK))
+	for k, w := range r.tmByK {
+		r.res.MeanTm[k] = sim.Time(w.Mean())
+	}
+	r.res.MeanTc = sim.Time(r.tcAgg.Mean())
+	r.res.CacheMissFraction = r.missAgg.Mean()
+	r.res.LLCPeak = r.llc.Peak()
+	r.res.Timeline = r.timeline
+	return r.res
+}
+
+// decisions extracts the D-MTL history from adaptive throttlers.
+func decisions(th core.Throttler) []int {
+	switch t := th.(type) {
+	case *core.Dynamic:
+		return append([]int(nil), t.History...)
+	case *core.OnlineExhaustive:
+		return append([]int(nil), t.History...)
+	default:
+		return nil
+	}
+}
+
+// probes extracts the probe-window count from adaptive throttlers.
+func probes(th core.Throttler) int {
+	switch t := th.(type) {
+	case *core.Dynamic:
+		return t.TotalProbes
+	case *core.OnlineExhaustive:
+		return t.TotalProbes
+	default:
+		return 0
+	}
+}
+
+// enterPhase queues every task pair of phase p and dispatches workers.
+func (r *runner) enterPhase(p int) {
+	r.phase = p
+	if p >= len(r.prog.Phases) {
+		return
+	}
+	ph := &r.prog.Phases[p]
+	r.phaseStart = r.eng.Now()
+	r.phaseRemaining = 0
+	for i := range ph.Pairs {
+		pr := &ph.Pairs[i]
+		pairState := &pairRun{
+			gatherBytes: pr.Gather.Bytes * r.noise.Factor(),
+			computeWork: pr.Compute.Work * sim.Time(r.noise.Factor()),
+		}
+		r.phaseRemaining += 2
+		if pr.Scatter != nil {
+			pairState.scatterBytes = pr.Scatter.Bytes * r.noise.Factor()
+			r.phaseRemaining++
+		}
+		r.readyMem = insertByID(r.readyMem, &taskRun{task: pr.Gather, pair: pairState})
+	}
+	r.dispatchAll()
+}
+
+// dispatchAll gives every idle worker a chance to pick up work.
+func (r *runner) dispatchAll() {
+	for _, w := range r.workers {
+		if w.idle {
+			r.dispatch(w)
+		}
+	}
+}
+
+// dispatch assigns the next runnable task to w, or leaves it idle.
+// Ready queues are ordered by task ID (program order); the worker
+// takes the oldest runnable task, where memory tasks are runnable
+// only while MTL tokens remain. This yields the per-thread
+// gather-compute alternation of Fig. 4 and keeps the number of
+// in-flight pairs — and hence the live LLC footprint — bounded.
+func (r *runner) dispatch(w *worker) {
+	memOK := r.activeMem < r.th.MTL() && len(r.readyMem) > 0
+	compOK := len(r.readyCompute) > 0
+	switch {
+	case memOK && (!compOK || r.readyMem[0].task.ID < r.readyCompute[0].task.ID):
+		ts := r.readyMem[0]
+		r.readyMem = r.readyMem[1:]
+		r.startMemory(w, ts)
+	case compOK:
+		ts := r.readyCompute[0]
+		r.readyCompute = r.readyCompute[1:]
+		r.startCompute(w, ts)
+	default:
+		w.idle = true
+		return
+	}
+	w.idle = false
+}
+
+// insertByID inserts ts keeping the queue sorted by task ID.
+func insertByID(q []*taskRun, ts *taskRun) []*taskRun {
+	i := len(q)
+	for i > 0 && q[i-1].task.ID > ts.task.ID {
+		i--
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = ts
+	return q
+}
+
+// startMemory runs a gather or scatter task on w.
+func (r *runner) startMemory(w *worker, ts *taskRun) {
+	ts.start = r.eng.Now()
+	ts.mtlAt = r.th.MTL()
+	r.activeMem++
+	bytes := ts.pair.gatherBytes
+	if ts.task.Kind == stream.Scatter {
+		bytes = ts.pair.scatterBytes
+	}
+	r.llc.Reserve(bytes)
+	r.pool.Start(bytes, 1, func() {
+		r.finishMemory(w, ts, bytes)
+	})
+}
+
+func (r *runner) finishMemory(w *worker, ts *taskRun, bytes float64) {
+	now := r.eng.Now()
+	dur := now - ts.start
+	r.account(w, ts, dur)
+	r.activeMem--
+
+	switch ts.task.Kind {
+	case stream.Gather:
+		// The gathered footprint stays resident until its compute
+		// task has consumed it; record Tm for the pair.
+		ts.pair.gatherDur = dur
+		r.welfordTm(ts.mtlAt).Add(float64(dur))
+		r.readyCompute = insertByID(r.readyCompute, &taskRun{task: computeOf(r.prog, ts.task), pair: ts.pair})
+	case stream.Scatter:
+		r.llc.Release(bytes)
+	}
+	r.taskDone(w)
+}
+
+// computeOf finds the compute task of the same pair.
+func computeOf(p *stream.Program, gather *stream.Task) *stream.Task {
+	return p.Phases[gather.Phase].Pairs[gather.Pair].Compute
+}
+
+// scatterOf finds the scatter task of the same pair, or nil.
+func scatterOf(p *stream.Program, t *stream.Task) *stream.Task {
+	return p.Phases[t.Phase].Pairs[t.Pair].Scatter
+}
+
+// startCompute runs a compute task on w's core; if live footprints
+// overflow the LLC the task also drives miss traffic into the memory
+// pool and completes only when both parts finish.
+func (r *runner) startCompute(w *worker, ts *taskRun) {
+	ts.start = r.eng.Now()
+	missFrac := r.llc.MissFraction()
+	r.missAgg.Add(missFrac)
+
+	pending := 1
+	part := func() {
+		pending--
+		if pending == 0 {
+			r.finishCompute(w, ts)
+		}
+	}
+	if missFrac > 0 {
+		pending++
+		r.pool.Start(missFrac*ts.pair.gatherBytes, missFrac, part)
+	}
+	w.core.StartCompute(ts.pair.computeWork, part)
+}
+
+func (r *runner) finishCompute(w *worker, ts *taskRun) {
+	now := r.eng.Now()
+	dur := now - ts.start
+	r.account(w, ts, dur)
+	ts.pair.computeDur = dur
+	r.tcAgg.Add(float64(dur))
+	r.llc.Release(ts.pair.gatherBytes)
+	r.res.PairsCompleted++
+
+	if sc := scatterOf(r.prog, ts.task); sc != nil {
+		r.readyMem = insertByID(r.readyMem, &taskRun{task: sc, pair: ts.pair})
+	}
+
+	monitored := r.th.Monitoring()
+	r.th.OnPair(core.PairSample{Tm: ts.pair.gatherDur, Tc: dur, Now: now})
+
+	if monitored && r.cfg.MonitorOverhead > 0 {
+		r.res.MonitoredPairs++
+		r.res.OverheadTime += r.cfg.MonitorOverhead
+		r.res.BusyTime += r.cfg.MonitorOverhead
+		if r.timeline != nil {
+			r.timeline.Add(trace.Segment{
+				Thread: w.id, Start: now, End: now + r.cfg.MonitorOverhead,
+				Label: "mon", Memory: false,
+			})
+		}
+		r.eng.After(r.cfg.MonitorOverhead, func() { r.taskDone(w) })
+		return
+	}
+	if monitored {
+		r.res.MonitoredPairs++
+	}
+	r.taskDone(w)
+}
+
+// account records busy time and the trace segment for a finished task.
+func (r *runner) account(w *worker, ts *taskRun, dur sim.Time) {
+	r.res.BusyTime += dur
+	if r.timeline != nil {
+		r.timeline.Add(trace.Segment{
+			Thread: w.id,
+			Start:  ts.start,
+			End:    ts.start + dur,
+			Label:  fmt.Sprintf("%s%d.%d", ts.task.Kind, ts.task.Phase, ts.task.Pair),
+			Memory: ts.task.Kind.IsMemory(),
+		})
+	}
+}
+
+// taskDone advances the phase bookkeeping and re-dispatches workers.
+func (r *runner) taskDone(w *worker) {
+	r.phaseRemaining--
+	w.idle = true
+	if r.phaseRemaining == 0 && len(r.readyMem) == 0 && len(r.readyCompute) == 0 {
+		r.res.PhaseTimes = append(r.res.PhaseTimes, r.eng.Now()-r.phaseStart)
+		r.res.PhaseMTL = append(r.res.PhaseMTL, r.th.MTL())
+		r.enterPhase(r.phase + 1)
+		return
+	}
+	r.dispatchAll()
+}
+
+func (r *runner) welfordTm(k int) *stats.Welford {
+	wf := r.tmByK[k]
+	if wf == nil {
+		wf = &stats.Welford{}
+		r.tmByK[k] = wf
+	}
+	return wf
+}

@@ -1,0 +1,323 @@
+package simsched
+
+import (
+	"math"
+	"testing"
+
+	"memthrottle/internal/contend"
+	"memthrottle/internal/core"
+	"memthrottle/internal/machine"
+	"memthrottle/internal/sim"
+	"memthrottle/internal/stream"
+)
+
+// testMem is the fluid law used by scheduler tests: per 512 KB task,
+// Tm_1 = 0.73 ms and each extra concurrent task adds 0.21 ms — the
+// calibrated regime of the DRAM model.
+func testMem() contend.Params {
+	return contend.Params{TmlPerByte: 1e-9, TqlPerByte: 0.4e-9}
+}
+
+const footprint = 512 * 1024
+
+// tm1 is the single-task memory time for the test footprint.
+func tm1() sim.Time {
+	p := testMem()
+	return p.TaskTime(footprint, 1)
+}
+
+// synth builds a single-phase synthetic program with the given
+// Tm1/Tc ratio and pair count.
+func synth(ratio float64, pairs int) *stream.Program {
+	tc := sim.Time(float64(tm1()) / ratio)
+	return stream.Build("synth",
+		stream.PhaseSpec{Name: "main", Pairs: pairs, MemBytes: footprint, ComputeTime: tc})
+}
+
+func cfg() Config { return Default(testMem()) }
+
+func TestRunCompletesAndAccounts(t *testing.T) {
+	res := Run(synth(0.5, 40), cfg(), core.Fixed{K: 4})
+	if res.TotalTime <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if res.PairsCompleted != 40 {
+		t.Errorf("PairsCompleted = %d, want 40", res.PairsCompleted)
+	}
+	if len(res.PhaseTimes) != 1 {
+		t.Errorf("PhaseTimes = %v, want one phase", res.PhaseTimes)
+	}
+	if res.BusyTime <= 0 || res.IdleTime < 0 {
+		t.Errorf("accounting: busy=%v idle=%v", res.BusyTime, res.IdleTime)
+	}
+	total := res.BusyTime + res.IdleTime
+	want := res.TotalTime * 4
+	if math.Abs(float64(total-want)) > 1e-9 {
+		t.Errorf("busy+idle = %v, want threads*total = %v", total, want)
+	}
+	if res.Policy != "fixed(4)" || res.FinalMTL != 4 {
+		t.Errorf("policy metadata wrong: %q mtl=%d", res.Policy, res.FinalMTL)
+	}
+}
+
+func TestMTLConstraintNeverViolated(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		c := cfg()
+		c.RecordTrace = true
+		res := Run(synth(1.0, 30), c, core.Fixed{K: k})
+		if got := res.Timeline.MaxMemoryOverlap(); got > k {
+			t.Errorf("MTL=%d: %d memory tasks overlapped", k, got)
+		}
+	}
+}
+
+func TestUnthrottledUsesAllTokens(t *testing.T) {
+	c := cfg()
+	c.RecordTrace = true
+	res := Run(synth(2.0, 40), c, core.Fixed{K: 4})
+	if got := res.Timeline.MaxMemoryOverlap(); got != 4 {
+		t.Errorf("memory-bound unthrottled run peaked at %d concurrent memory tasks, want 4", got)
+	}
+}
+
+func TestMeanTmGrowsWithMTL(t *testing.T) {
+	var prev sim.Time
+	for k := 1; k <= 4; k++ {
+		res := Run(synth(1.0, 40), cfg(), core.Fixed{K: k})
+		tm, ok := res.MeanTm[k]
+		if !ok {
+			t.Fatalf("MTL=%d: no Tm recorded (have %v)", k, res.MeanTm)
+		}
+		if k > 1 && tm <= prev {
+			t.Errorf("MeanTm[%d] = %v not above MeanTm[%d] = %v", k, tm, k-1, prev)
+		}
+		prev = tm
+	}
+}
+
+func TestComputeBoundPrefersMTL1(t *testing.T) {
+	// Ratio 0.12 (dft-like): MTL=1 must beat MTL=4.
+	prog := synth(0.12, 60)
+	t1 := Run(prog, cfg(), core.Fixed{K: 1}).TotalTime
+	t4 := Run(prog, cfg(), core.Fixed{K: 4}).TotalTime
+	if t1 >= t4 {
+		t.Errorf("compute-bound: MTL=1 (%v) not faster than MTL=4 (%v)", t1, t4)
+	}
+}
+
+func TestVeryMemoryBoundPrefersHigherMTL(t *testing.T) {
+	// Ratio 3.0: MTL=1 leaves three cores idle most of the time; the
+	// reduced contention cannot make up for it.
+	prog := synth(3.0, 60)
+	t1 := Run(prog, cfg(), core.Fixed{K: 1}).TotalTime
+	t4 := Run(prog, cfg(), core.Fixed{K: 4}).TotalTime
+	if t4 >= t1 {
+		t.Errorf("memory-bound: MTL=4 (%v) not faster than MTL=1 (%v)", t4, t1)
+	}
+}
+
+func TestMatchesAnalyticalModel(t *testing.T) {
+	// Steady-state total time should track the model's ExecTime
+	// prediction within a few percent (start/end transients).
+	model := core.NewModel(4)
+	for _, tc := range []struct {
+		ratio float64
+		k     int
+	}{
+		{0.2, 1}, {0.8, 2}, {2.0, 3}, {1.0, 4},
+	} {
+		prog := synth(tc.ratio, 80)
+		res := Run(prog, cfg(), core.Fixed{K: tc.k})
+		tm := res.MeanTm[tc.k]
+		want := model.ExecTime(tm, res.MeanTc, tc.k, 80)
+		rel := math.Abs(float64(res.TotalTime-want)) / float64(want)
+		if rel > 0.08 {
+			t.Errorf("ratio %.2f MTL=%d: measured %v vs model %v (rel %.1f%%)",
+				tc.ratio, tc.k, res.TotalTime, want, 100*rel)
+		}
+	}
+}
+
+func TestDynamicMatchesOfflineBest(t *testing.T) {
+	for _, ratio := range []float64{0.12, 0.5, 1.5} {
+		prog := synth(ratio, 120)
+		best := sim.Time(math.MaxFloat64)
+		for k := 1; k <= 4; k++ {
+			if tt := Run(prog, cfg(), core.Fixed{K: k}).TotalTime; tt < best {
+				best = tt
+			}
+		}
+		dyn := Run(prog, cfg(), core.NewDynamic(core.NewModel(4), 8))
+		slack := float64(dyn.TotalTime)/float64(best) - 1
+		if slack > 0.08 {
+			t.Errorf("ratio %.2f: dynamic %v vs offline best %v (%.1f%% slack)",
+				ratio, dyn.TotalTime, best, 100*slack)
+		}
+	}
+}
+
+func TestDynamicBeatsConventionalOnThrottleFriendlyRatio(t *testing.T) {
+	prog := synth(0.33, 120)
+	conv := Run(prog, cfg(), core.Fixed{K: 4}).TotalTime
+	dyn := Run(prog, cfg(), core.NewDynamic(core.NewModel(4), 8)).TotalTime
+	speedup := float64(conv) / float64(dyn)
+	if speedup < 1.05 {
+		t.Errorf("dynamic speedup = %.3f, want > 1.05 at the sweet-spot ratio", speedup)
+	}
+}
+
+func TestPhaseBarrierAndAdaptation(t *testing.T) {
+	// Two phases with opposite characters; dynamic must decide per
+	// phase (history length >= 2) and phases must not overlap.
+	tc1 := sim.Time(float64(tm1()) / 0.12)
+	tc2 := sim.Time(float64(tm1()) / 1.5)
+	prog := stream.Build("phased",
+		stream.PhaseSpec{Name: "compute-heavy", Pairs: 80, MemBytes: footprint, ComputeTime: tc1},
+		stream.PhaseSpec{Name: "memory-heavy", Pairs: 80, MemBytes: footprint, ComputeTime: tc2},
+	)
+	res := Run(prog, cfg(), core.NewDynamic(core.NewModel(4), 8))
+	if len(res.PhaseTimes) != 2 {
+		t.Fatalf("PhaseTimes = %v, want 2 phases", res.PhaseTimes)
+	}
+	if len(res.MTLDecisions) < 2 {
+		t.Errorf("dynamic made %d decisions (%v), want >= 2 across a phase change",
+			len(res.MTLDecisions), res.MTLDecisions)
+	}
+	last := res.MTLDecisions[len(res.MTLDecisions)-1]
+	first := res.MTLDecisions[0]
+	if first != 1 {
+		t.Errorf("compute-heavy phase decided D-MTL=%d, want 1", first)
+	}
+	if last < 2 {
+		t.Errorf("memory-heavy phase decided D-MTL=%d, want >= 2", last)
+	}
+}
+
+func TestScatterTasksRunAndThrottle(t *testing.T) {
+	prog := stream.Build("scatter",
+		stream.PhaseSpec{Name: "p", Pairs: 30, MemBytes: footprint,
+			ComputeTime: sim.Time(float64(tm1()) / 0.5), ScatterBytes: footprint / 2})
+	c := cfg()
+	c.RecordTrace = true
+	res := Run(prog, c, core.Fixed{K: 2})
+	if got := res.Timeline.MaxMemoryOverlap(); got > 2 {
+		t.Errorf("scatter run overlapped %d memory tasks at MTL=2", got)
+	}
+	// 30 gathers + 30 scatters + 30 computes all accounted.
+	var memSegs int
+	for _, s := range res.Timeline.Segments() {
+		if s.Memory {
+			memSegs++
+		}
+	}
+	if memSegs != 60 {
+		t.Errorf("memory segments = %d, want 60 (gathers+scatters)", memSegs)
+	}
+}
+
+func TestLLCOverflowProducesMisses(t *testing.T) {
+	// 2 MB tasks on an 8 MB LLC with ~8 pairs in flight: overflow.
+	big := 2 << 20
+	p := testMem()
+	prog := stream.Build("big",
+		stream.PhaseSpec{Name: "p", Pairs: 40, MemBytes: float64(big),
+			ComputeTime: p.TaskTime(float64(big), 1)})
+	res := Run(prog, cfg(), core.Fixed{K: 3})
+	if res.CacheMissFraction <= 0 {
+		t.Error("2 MB tasks did not overflow the 8 MB LLC")
+	}
+
+	small := 256 * 1024
+	prog2 := stream.Build("small",
+		stream.PhaseSpec{Name: "p", Pairs: 40, MemBytes: float64(small),
+			ComputeTime: p.TaskTime(float64(small), 1)})
+	res2 := Run(prog2, cfg(), core.Fixed{K: 3})
+	if res2.CacheMissFraction != 0 {
+		t.Errorf("small tasks had miss fraction %g, want 0", res2.CacheMissFraction)
+	}
+}
+
+func TestMonitoringOverheadAccounting(t *testing.T) {
+	prog := synth(0.5, 100)
+	fixed := Run(prog, cfg(), core.Fixed{K: 2})
+	if fixed.MonitoredPairs != 0 || fixed.OverheadTime != 0 {
+		t.Errorf("fixed policy monitored %d pairs", fixed.MonitoredPairs)
+	}
+	dyn := Run(prog, cfg(), core.NewDynamic(core.NewModel(4), 8))
+	if dyn.MonitoredPairs == 0 || dyn.OverheadTime <= 0 {
+		t.Error("dynamic policy recorded no monitoring")
+	}
+	frac := float64(dyn.OverheadTime) / float64(dyn.TotalTime)
+	if frac > 0.02 {
+		t.Errorf("dynamic overhead fraction %.4f, want < 2%%", frac)
+	}
+}
+
+func TestOnlineExhaustiveRunsAndDecides(t *testing.T) {
+	prog := synth(0.5, 120)
+	res := Run(prog, cfg(), core.NewOnlineExhaustive(core.NewModel(4), 8, 0.10))
+	if len(res.MTLDecisions) == 0 {
+		t.Error("online baseline never decided")
+	}
+	if res.PairsCompleted != 120 {
+		t.Errorf("PairsCompleted = %d, want 120", res.PairsCompleted)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c := cfg()
+	c.NoiseSigma = 0.05
+	a := Run(synth(0.7, 60), c, core.NewDynamic(core.NewModel(4), 8))
+	b := Run(synth(0.7, 60), c, core.NewDynamic(core.NewModel(4), 8))
+	if a.TotalTime != b.TotalTime || a.FinalMTL != b.FinalMTL {
+		t.Errorf("same seed diverged: %v/%d vs %v/%d",
+			a.TotalTime, a.FinalMTL, b.TotalTime, b.FinalMTL)
+	}
+	c2 := c
+	c2.Seed = 99
+	d := Run(synth(0.7, 60), c2, core.NewDynamic(core.NewModel(4), 8))
+	if d.TotalTime == a.TotalTime {
+		t.Error("different seeds produced identical noisy runs")
+	}
+}
+
+func TestSMTRunCompletes(t *testing.T) {
+	c := cfg()
+	c.Machine = machine.I7860().WithSMT(2)
+	res := Run(synth(0.8, 60), c, core.NewDynamic(core.NewModel(8), 8))
+	if res.PairsCompleted != 60 {
+		t.Errorf("SMT run completed %d pairs, want 60", res.PairsCompleted)
+	}
+	total := res.BusyTime + res.IdleTime
+	want := res.TotalTime * 8
+	if math.Abs(float64(total-want)) > 1e-9 {
+		t.Errorf("SMT accounting: busy+idle = %v, want %v", total, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := cfg()
+	bad.LLCBytes = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid config accepted")
+			}
+		}()
+		Run(synth(0.5, 4), bad, core.Fixed{K: 1})
+	}()
+
+	if err := cfg().Validate(); err != nil {
+		t.Error(err)
+	}
+	b2 := cfg()
+	b2.MonitorOverhead = -1
+	if b2.Validate() == nil {
+		t.Error("negative overhead accepted")
+	}
+	b3 := cfg()
+	b3.NoiseSigma = -1
+	if b3.Validate() == nil {
+		t.Error("negative sigma accepted")
+	}
+}

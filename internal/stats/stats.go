@@ -1,0 +1,173 @@
+// Package stats implements the measurement statistics used throughout
+// the reproduction: trimmed means mirroring the paper's
+// "run 20 times, average the middle 10" methodology (§V), geometric
+// means for cross-workload speedup summaries, least-squares fits for
+// DRAM calibration, and online mean/variance accumulators for the
+// run-time monitor.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// TrimmedMean sorts a copy of xs and averages the middle keep values,
+// discarding (len-keep)/2 from each tail. This mirrors the paper's
+// corner-case elimination: 20 runs, middle 10 averaged. If keep >=
+// len(xs) the plain mean is returned. keep <= 0 panics.
+func TrimmedMean(xs []float64, keep int) float64 {
+	if keep <= 0 {
+		panic("stats: TrimmedMean keep must be positive")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	if keep >= len(xs) {
+		return Mean(xs)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	lo := (len(sorted) - keep) / 2
+	return Mean(sorted[lo : lo+keep])
+}
+
+// Geomean returns the geometric mean of xs. All values must be
+// positive; non-positive input panics since a geometric mean of
+// speedups is undefined there.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: Geomean of non-positive value %g", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Median returns the median of xs (mean of the two central values for
+// even lengths), or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// LinearFit computes the least-squares line y = Intercept + Slope*x
+// through the given points, plus the coefficient of determination R2.
+// It requires at least two points with distinct x values.
+type LinearFit struct {
+	Intercept float64
+	Slope     float64
+	R2        float64
+}
+
+// FitLine performs an ordinary least-squares fit. It returns an error
+// if fewer than two points are supplied or all x values coincide.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: FitLine length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("stats: FitLine needs >= 2 points, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: FitLine degenerate: all x equal")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Intercept: my - slope*mx, Slope: slope}
+	if syy == 0 {
+		fit.R2 = 1 // perfectly flat data, perfectly fit by a flat line
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// Eval returns the fitted value at x.
+func (f LinearFit) Eval(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// Welford accumulates a running mean and variance without storing
+// samples. The zero value is an empty accumulator.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N reports the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean reports the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance reports the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev reports the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// RelErr returns |got-want|/want. It panics if want is zero.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		panic("stats: RelErr with zero reference")
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Speedup returns baseline/improved, the convention used throughout
+// the paper (execution-time ratio vs the interference-oblivious run).
+// It panics on non-positive improved time.
+func Speedup(baseline, improved float64) float64 {
+	if improved <= 0 {
+		panic(fmt.Sprintf("stats: Speedup with non-positive time %g", improved))
+	}
+	return baseline / improved
+}

@@ -1,0 +1,160 @@
+// Package trace records per-hardware-thread execution timelines from
+// scheduler simulations: which task ran where and when, plus idle
+// accounting. Tests use it to assert schedule-shape invariants (e.g.
+// "never more than MTL memory tasks overlap") and the CLI renders a
+// coarse ASCII Gantt chart like the paper's Fig. 4/5 schedules.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memthrottle/internal/sim"
+)
+
+// Segment is one contiguous execution of a task on a hardware thread.
+type Segment struct {
+	Thread int // hardware-thread index
+	Start  sim.Time
+	End    sim.Time
+	Label  string // e.g. "M3" for pair 3's memory task, "C3" compute
+	Memory bool   // true for gather/scatter segments
+}
+
+// Timeline is an append-only set of segments.
+type Timeline struct {
+	segs    []Segment
+	threads int
+}
+
+// New returns a timeline for the given number of hardware threads.
+func New(threads int) *Timeline {
+	if threads < 1 {
+		panic(fmt.Sprintf("trace: %d threads", threads))
+	}
+	return &Timeline{threads: threads}
+}
+
+// Add appends a segment. Panics on malformed segments.
+func (tl *Timeline) Add(s Segment) {
+	if s.Thread < 0 || s.Thread >= tl.threads {
+		panic(fmt.Sprintf("trace: thread %d out of range", s.Thread))
+	}
+	if s.End < s.Start {
+		panic(fmt.Sprintf("trace: segment ends (%v) before it starts (%v)", s.End, s.Start))
+	}
+	tl.segs = append(tl.segs, s)
+}
+
+// Segments returns all recorded segments (shared slice; do not
+// mutate).
+func (tl *Timeline) Segments() []Segment { return tl.segs }
+
+// Threads reports the thread count.
+func (tl *Timeline) Threads() int { return tl.threads }
+
+// Span reports the [min start, max end] range, or zeros when empty.
+func (tl *Timeline) Span() (start, end sim.Time) {
+	if len(tl.segs) == 0 {
+		return 0, 0
+	}
+	start, end = tl.segs[0].Start, tl.segs[0].End
+	for _, s := range tl.segs[1:] {
+		if s.Start < start {
+			start = s.Start
+		}
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return start, end
+}
+
+// BusyTime reports the summed duration of all segments on one thread.
+func (tl *Timeline) BusyTime(thread int) sim.Time {
+	var busy sim.Time
+	for _, s := range tl.segs {
+		if s.Thread == thread {
+			busy += s.End - s.Start
+		}
+	}
+	return busy
+}
+
+// IdleTime reports span*threads minus total busy time.
+func (tl *Timeline) IdleTime() sim.Time {
+	start, end := tl.Span()
+	total := (end - start) * sim.Time(tl.threads)
+	for _, s := range tl.segs {
+		total -= s.End - s.Start
+	}
+	return total
+}
+
+// MaxMemoryOverlap reports the maximum number of memory segments in
+// flight at any instant — the observable MTL ceiling of a schedule.
+func (tl *Timeline) MaxMemoryOverlap() int {
+	type ev struct {
+		t     sim.Time
+		delta int
+	}
+	var evs []ev
+	for _, s := range tl.segs {
+		if !s.Memory || s.End == s.Start {
+			continue
+		}
+		evs = append(evs, ev{s.Start, +1}, ev{s.End, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta // process ends before starts at ties
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// Gantt renders an ASCII chart with the given number of columns:
+// one row per thread, memory segments as 'M', compute as 'C',
+// idle as '.'. Intended for CLI inspection, not exact timing.
+func (tl *Timeline) Gantt(cols int) string {
+	if cols < 1 {
+		cols = 80
+	}
+	start, end := tl.Span()
+	if end == start {
+		return "(empty timeline)\n"
+	}
+	scale := float64(cols) / float64(end-start)
+	rows := make([][]byte, tl.threads)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", cols))
+	}
+	for _, s := range tl.segs {
+		c0 := int(float64(s.Start-start) * scale)
+		c1 := int(float64(s.End-start) * scale)
+		if c1 >= cols {
+			c1 = cols - 1
+		}
+		ch := byte('C')
+		if s.Memory {
+			ch = 'M'
+		}
+		for c := c0; c <= c1; c++ {
+			rows[s.Thread][c] = ch
+		}
+	}
+	var b strings.Builder
+	for i, row := range rows {
+		fmt.Fprintf(&b, "T%-2d |%s|\n", i, row)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"memthrottle/internal/sim"
+)
+
+const us = sim.Microsecond
+
+// eq compares times with float tolerance.
+func eq(a, b sim.Time) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-15
+}
+
+func sample() *Timeline {
+	tl := New(2)
+	tl.Add(Segment{Thread: 0, Start: 0, End: 2 * us, Label: "M0", Memory: true})
+	tl.Add(Segment{Thread: 0, Start: 2 * us, End: 5 * us, Label: "C0"})
+	tl.Add(Segment{Thread: 1, Start: 1 * us, End: 3 * us, Label: "M1", Memory: true})
+	tl.Add(Segment{Thread: 1, Start: 3 * us, End: 6 * us, Label: "C1"})
+	return tl
+}
+
+func TestSpanAndBusy(t *testing.T) {
+	tl := sample()
+	start, end := tl.Span()
+	if start != 0 || end != 6*us {
+		t.Errorf("span = [%v, %v], want [0, 6us]", start, end)
+	}
+	if got := tl.BusyTime(0); !eq(got, 5*us) {
+		t.Errorf("busy(0) = %v, want 5us", got)
+	}
+	if got := tl.BusyTime(1); !eq(got, 5*us) {
+		t.Errorf("busy(1) = %v, want 5us", got)
+	}
+	if got := tl.IdleTime(); !eq(got, 2*us) {
+		t.Errorf("idle = %v, want 2us", got)
+	}
+}
+
+func TestMaxMemoryOverlap(t *testing.T) {
+	tl := sample()
+	// M0 [0,2] and M1 [1,3] overlap in [1,2].
+	if got := tl.MaxMemoryOverlap(); got != 2 {
+		t.Errorf("overlap = %d, want 2", got)
+	}
+	// Touching segments do not overlap.
+	tl2 := New(2)
+	tl2.Add(Segment{Thread: 0, Start: 0, End: us, Memory: true})
+	tl2.Add(Segment{Thread: 1, Start: us, End: 2 * us, Memory: true})
+	if got := tl2.MaxMemoryOverlap(); got != 1 {
+		t.Errorf("touching overlap = %d, want 1", got)
+	}
+	// Compute segments never count.
+	tl3 := New(2)
+	tl3.Add(Segment{Thread: 0, Start: 0, End: us})
+	tl3.Add(Segment{Thread: 1, Start: 0, End: us})
+	if got := tl3.MaxMemoryOverlap(); got != 0 {
+		t.Errorf("compute-only overlap = %d, want 0", got)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := sample().Gantt(12)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("gantt rows = %d, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "M") || !strings.Contains(lines[0], "C") {
+		t.Errorf("row 0 missing marks: %q", lines[0])
+	}
+	if empty := New(1).Gantt(10); !strings.Contains(empty, "empty") {
+		t.Errorf("empty gantt = %q", empty)
+	}
+}
+
+func TestAddPanics(t *testing.T) {
+	tl := New(1)
+	for name, seg := range map[string]Segment{
+		"bad thread": {Thread: 5, Start: 0, End: us},
+		"reversed":   {Thread: 0, Start: us, End: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			tl.Add(seg)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(0): no panic")
+			}
+		}()
+		New(0)
+	}()
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	tl := New(3)
+	if s, e := tl.Span(); s != 0 || e != 0 {
+		t.Error("empty span nonzero")
+	}
+	if tl.IdleTime() != 0 {
+		t.Error("empty idle nonzero")
+	}
+	if tl.Threads() != 3 {
+		t.Error("threads wrong")
+	}
+	if len(tl.Segments()) != 0 {
+		t.Error("segments nonzero")
+	}
+}

@@ -1,0 +1,51 @@
+package workload
+
+import "fmt"
+
+// AccessTrace is a line-granularity memory reference stream, used to
+// validate the capacity-accounting cache model against the line-level
+// set-associative model and to characterise workloads.
+type AccessTrace struct {
+	Addrs []uint64
+}
+
+// Len reports the number of references.
+func (t AccessTrace) Len() int { return len(t.Addrs) }
+
+// PairTrace generates the reference stream of one gather-compute pair
+// in the Fig. 12 style: the gather streams the footprint once
+// (sequential line-sized stores), then the compute revisits the same
+// footprint `passes` times. base must be line-aligned.
+func PairTrace(base uint64, footprint, lineBytes, passes int) (gather, compute AccessTrace) {
+	if footprint <= 0 || lineBytes <= 0 || footprint%lineBytes != 0 {
+		panic(fmt.Sprintf("workload: PairTrace footprint %d / line %d", footprint, lineBytes))
+	}
+	if passes < 1 {
+		panic(fmt.Sprintf("workload: PairTrace passes %d", passes))
+	}
+	if base%uint64(lineBytes) != 0 {
+		panic("workload: PairTrace base not line-aligned")
+	}
+	lines := footprint / lineBytes
+	gather.Addrs = make([]uint64, lines)
+	for i := 0; i < lines; i++ {
+		gather.Addrs[i] = base + uint64(i*lineBytes)
+	}
+	compute.Addrs = make([]uint64, 0, lines*passes)
+	for p := 0; p < passes; p++ {
+		compute.Addrs = append(compute.Addrs, gather.Addrs...)
+	}
+	return gather, compute
+}
+
+// InterleavedPairTraces builds n pairs over disjoint footprints and
+// returns their gathers and computes. Pair i occupies
+// [i*footprint, (i+1)*footprint).
+func InterleavedPairTraces(n, footprint, lineBytes, passes int) (gathers, computes []AccessTrace) {
+	for i := 0; i < n; i++ {
+		g, c := PairTrace(uint64(i*footprint), footprint, lineBytes, passes)
+		gathers = append(gathers, g)
+		computes = append(computes, c)
+	}
+	return gathers, computes
+}

@@ -1,0 +1,190 @@
+// Package workload builds the stream programs evaluated in the paper:
+// the Fig. 12 synthetic array kernel with a tunable memory-to-compute
+// ratio, and stream-programming-model rewrites of dft (OpenCV),
+// streamcluster (PARSEC, six input sizes) and SIFT (SIFT++).
+//
+// The real applications are modelled, not ported: the throttling
+// mechanism observes a workload only through its memory-task
+// footprints, compute durations, pair counts and phase structure, so
+// programs reproducing the published memory-to-compute ratios (Tables
+// II and III) exercise the identical decision surface. Ratios are
+// defined against Tm_1, which depends on the calibrated memory
+// parameters — hence the Library carries them.
+package workload
+
+import (
+	"fmt"
+
+	"memthrottle/internal/contend"
+	"memthrottle/internal/sim"
+	"memthrottle/internal/stream"
+)
+
+// Footprint is the default per-task footprint: 512 KB stays well
+// inside the paper's "less than LLC per core" rule (8 MB / 4).
+const Footprint = 512 * 1024
+
+// Library builds workloads against a calibrated memory system.
+type Library struct {
+	Mem contend.Params
+}
+
+// NewLibrary returns a workload library for the given fluid memory
+// parameters. Panics on invalid parameters.
+func NewLibrary(mem contend.Params) Library {
+	if err := mem.Validate(); err != nil {
+		panic(err)
+	}
+	return Library{Mem: mem}
+}
+
+// tm1 is the uncontended single-task memory time for a footprint.
+func (l Library) tm1(footprint float64) sim.Time {
+	return l.Mem.TaskTime(footprint, 1)
+}
+
+// computeFor returns the compute duration that yields the target
+// Tm1/Tc ratio at the given footprint.
+func (l Library) computeFor(ratio, footprint float64) sim.Time {
+	if ratio <= 0 {
+		panic(fmt.Sprintf("workload: ratio %g", ratio))
+	}
+	return sim.Time(float64(l.tm1(footprint)) / ratio)
+}
+
+// Synthetic builds the Fig. 12 micro-benchmark: `pairs` equal pairs
+// whose memory task initialises `footprint` bytes and whose compute
+// task revisits them `count` times — expressed here directly as the
+// resulting Tm1/Tc ratio.
+func (l Library) Synthetic(ratio, footprint float64, pairs int) *stream.Program {
+	return stream.Build(fmt.Sprintf("synthetic(r=%.2f,f=%.1fMB)", ratio, footprint/(1<<20)),
+		stream.PhaseSpec{
+			Name:        "kernel",
+			Pairs:       pairs,
+			MemBytes:    footprint,
+			ComputeTime: l.computeFor(ratio, footprint),
+		})
+}
+
+// DFT models the OpenCV dft kernel: a single phase of 96 parallel
+// memory-compute task pairs (§VI-C) at the Table II ratio of 12.77%.
+func (l Library) DFT() *stream.Program {
+	return stream.Build("dft",
+		stream.PhaseSpec{
+			Name:        "dft",
+			Pairs:       96,
+			MemBytes:    Footprint,
+			ComputeTime: l.computeFor(0.1277, Footprint),
+		})
+}
+
+// StreamclusterDims lists the input array dimensions evaluated in
+// Fig. 17, native (128) first.
+var StreamclusterDims = []int{128, 72, 48, 36, 32, 20}
+
+// streamclusterRatio maps input dimension to the measured Tm1/Tc of
+// Table II.
+var streamclusterRatio = map[int]float64{
+	128: 0.3714,
+	72:  0.4309,
+	48:  0.2890,
+	36:  0.5413,
+	32:  0.2459,
+	20:  0.4958,
+}
+
+// Streamcluster models the PARSEC streamcluster benchmark for one of
+// the six input dimensions of Table II. Larger inputs carry more task
+// pairs. Panics on an unknown dimension.
+func (l Library) Streamcluster(dim int) *stream.Program {
+	ratio, ok := streamclusterRatio[dim]
+	if !ok {
+		panic(fmt.Sprintf("workload: streamcluster dimension %d not in Table II", dim))
+	}
+	pairs := 3 * dim // kmedian passes scale with the point dimension
+	if pairs < 96 {
+		pairs = 96
+	}
+	return stream.Build(fmt.Sprintf("SC_d%d", dim),
+		stream.PhaseSpec{
+			Name:        "kmedian",
+			Pairs:       pairs,
+			MemBytes:    Footprint,
+			ComputeTime: l.computeFor(ratio, Footprint),
+		})
+}
+
+// SIFTFunction is one parallel function of SIFT with its Table III
+// ratio.
+type SIFTFunction struct {
+	Name  string
+	Ratio float64
+	Pairs int
+}
+
+// SIFTFunctions lists the parallel functions of SIFT in execution
+// order with the measured Tm1/Tc of Table III.
+var SIFTFunctions = []SIFTFunction{
+	{"COPYUP", 0.2102, 64},
+	{"ECONVOLVE", 0.7004, 128},
+	{"ECONVOLVE2", 0.0783, 128},
+	{"ECONVOLVE3-0", 0.0845, 96},
+	{"ECONVOLVE3-1", 0.0845, 96},
+	{"ECONVOLVE3-2", 0.0832, 96},
+	{"ECONVOLVE3-3", 0.0827, 96},
+	{"ECONVOLVE3-4", 0.0815, 96},
+	{"ECONVOLVE4-0", 0.1187, 96},
+	{"ECONVOLVE4-1", 0.1166, 96},
+	{"ECONVOLVE4-2", 0.1210, 96},
+	{"ECONVOLVE4-3", 0.1168, 96},
+	{"ECONVOLVE4-4", 0.1153, 96},
+	{"DOG", 0.6032, 64},
+}
+
+// SIFT models the full SIFT pipeline: every parallel function of
+// Table III as one phase, run back to back. Its alternation between
+// compute-bound convolutions and memory-bound ECONVOLVE/DOG phases is
+// the paper's showcase for dynamic MTL adaptation (Fig. 16).
+func (l Library) SIFT() *stream.Program {
+	specs := make([]stream.PhaseSpec, len(SIFTFunctions))
+	for i, f := range SIFTFunctions {
+		specs[i] = stream.PhaseSpec{
+			Name:        f.Name,
+			Pairs:       f.Pairs,
+			MemBytes:    Footprint,
+			ComputeTime: l.computeFor(f.Ratio, Footprint),
+		}
+	}
+	return stream.Build("SIFT", specs...)
+}
+
+// SIFTPhase builds one SIFT function as a standalone single-phase
+// program (used for per-function offline search in Fig. 16). Panics on
+// an unknown function name.
+func (l Library) SIFTPhase(name string) *stream.Program {
+	for _, f := range SIFTFunctions {
+		if f.Name == name {
+			return stream.Build("SIFT/"+name, stream.PhaseSpec{
+				Name:        f.Name,
+				Pairs:       f.Pairs,
+				MemBytes:    Footprint,
+				ComputeTime: l.computeFor(f.Ratio, Footprint),
+			})
+		}
+	}
+	panic(fmt.Sprintf("workload: SIFT function %q not in Table III", name))
+}
+
+// TableIIRatio returns the published Tm1/Tc for a Table II workload
+// name ("dft" or a streamcluster dimension).
+func TableIIRatio(name string) (float64, bool) {
+	if name == "dft" {
+		return 0.1277, true
+	}
+	var dim int
+	if _, err := fmt.Sscanf(name, "SC_d%d", &dim); err == nil {
+		r, ok := streamclusterRatio[dim]
+		return r, ok
+	}
+	return 0, false
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"memthrottle/internal/contend"
+	"memthrottle/internal/core"
+	"memthrottle/internal/simsched"
+)
+
+func lib() Library {
+	return NewLibrary(contend.Params{TmlPerByte: 1e-9, TqlPerByte: 0.4e-9})
+}
+
+func TestSyntheticHitsTargetRatio(t *testing.T) {
+	l := lib()
+	for _, ratio := range []float64{0.05, 0.33, 1.0, 4.0} {
+		prog := l.Synthetic(ratio, Footprint, 40)
+		res := simsched.Run(prog, simsched.Default(l.Mem), core.Fixed{K: 1})
+		got := float64(res.MeanTm[1]) / float64(res.MeanTc)
+		if rel := math.Abs(got-ratio) / ratio; rel > 0.02 {
+			t.Errorf("ratio %.2f: measured %.4f (rel err %.1f%%)", ratio, got, 100*rel)
+		}
+	}
+}
+
+func TestDFTMatchesTableII(t *testing.T) {
+	l := lib()
+	prog := l.DFT()
+	if prog.TotalPairs() != 96 {
+		t.Errorf("dft pairs = %d, want 96 (§VI-C)", prog.TotalPairs())
+	}
+	res := simsched.Run(prog, simsched.Default(l.Mem), core.Fixed{K: 1})
+	got := float64(res.MeanTm[1]) / float64(res.MeanTc)
+	if math.Abs(got-0.1277)/0.1277 > 0.02 {
+		t.Errorf("dft Tm1/Tc = %.4f, want 0.1277", got)
+	}
+}
+
+func TestStreamclusterDims(t *testing.T) {
+	l := lib()
+	for _, dim := range StreamclusterDims {
+		prog := l.Streamcluster(dim)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("SC_d%d: %v", dim, err)
+		}
+		want, _ := TableIIRatio(prog.Name)
+		res := simsched.Run(prog, simsched.Default(l.Mem), core.Fixed{K: 1})
+		got := float64(res.MeanTm[1]) / float64(res.MeanTc)
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("SC_d%d ratio = %.4f, want %.4f", dim, got, want)
+		}
+	}
+}
+
+func TestStreamclusterUnknownDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dim accepted")
+		}
+	}()
+	lib().Streamcluster(77)
+}
+
+func TestSIFTStructure(t *testing.T) {
+	l := lib()
+	prog := l.SIFT()
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Phases) != len(SIFTFunctions) {
+		t.Fatalf("SIFT phases = %d, want %d", len(prog.Phases), len(SIFTFunctions))
+	}
+	for i, f := range SIFTFunctions {
+		if prog.Phases[i].Name != f.Name {
+			t.Errorf("phase %d = %q, want %q", i, prog.Phases[i].Name, f.Name)
+		}
+		if len(prog.Phases[i].Pairs) != f.Pairs {
+			t.Errorf("phase %q pairs = %d, want %d", f.Name, len(prog.Phases[i].Pairs), f.Pairs)
+		}
+	}
+}
+
+func TestSIFTPhaseRatios(t *testing.T) {
+	l := lib()
+	// Spot-check the two phases Fig. 16 discusses explicitly.
+	for _, tc := range []struct {
+		name string
+		want float64
+	}{
+		{"ECONVOLVE", 0.7004},
+		{"ECONVOLVE2", 0.0783},
+	} {
+		prog := l.SIFTPhase(tc.name)
+		res := simsched.Run(prog, simsched.Default(l.Mem), core.Fixed{K: 1})
+		got := float64(res.MeanTm[1]) / float64(res.MeanTc)
+		if math.Abs(got-tc.want)/tc.want > 0.02 {
+			t.Errorf("%s ratio = %.4f, want %.4f", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSIFTPhaseUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown function accepted")
+		}
+	}()
+	lib().SIFTPhase("NOPE")
+}
+
+func TestTableIIRatioLookup(t *testing.T) {
+	if r, ok := TableIIRatio("dft"); !ok || r != 0.1277 {
+		t.Error("dft lookup failed")
+	}
+	if r, ok := TableIIRatio("SC_d36"); !ok || r != 0.5413 {
+		t.Error("SC_d36 lookup failed")
+	}
+	if _, ok := TableIIRatio("nope"); ok {
+		t.Error("bogus name resolved")
+	}
+}
+
+func TestFootprintUnderPerCoreShare(t *testing.T) {
+	// The paper keeps task footprints below LLC/cores (8 MB / 4).
+	if Footprint >= 2<<20 {
+		t.Errorf("Footprint = %d, want < 2 MB", Footprint)
+	}
+}
+
+func TestNewLibraryPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params accepted")
+		}
+	}()
+	NewLibrary(contend.Params{})
+}
+
+func TestSyntheticPanicsOnZeroRatio(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero ratio accepted")
+		}
+	}()
+	lib().Synthetic(0, Footprint, 4)
+}

@@ -1,0 +1,164 @@
+// Package memthrottle reproduces "Memory Latency Reduction via Thread
+// Throttling" (Cheng, Lin, Li, Yang — MICRO 2010) as a Go library.
+//
+// The paper decouples stream-style applications into memory tasks
+// (gather/scatter between DRAM and the last-level cache) and compute
+// tasks, and throttles the number of concurrently running memory
+// tasks (the Memory Task Limit, MTL) to cut memory-interference
+// latency. An analytical model predicts the speedup of each candidate
+// MTL from the measured memory- and compute-task times; a run-time
+// mechanism detects program phases and re-selects the MTL with a
+// binary search.
+//
+// This facade exposes three layers:
+//
+//   - the analytical model and run-time controllers (Model, the
+//     policy constructors);
+//   - a simulated evaluation platform — request-level DRAM
+//     calibration, a fluid contention model, a multicore scheduler —
+//     on which every figure and table of the paper regenerates
+//     (Simulate, RunExperiment);
+//   - a real-goroutine runtime implementing the same mechanism for
+//     actual workloads (package memthrottle/host).
+//
+// See DESIGN.md for the substitution map (real i7-860 → simulated
+// platform) and EXPERIMENTS.md for paper-vs-measured results.
+package memthrottle
+
+import (
+	"fmt"
+
+	"memthrottle/internal/contend"
+	"memthrottle/internal/core"
+	"memthrottle/internal/experiments"
+	"memthrottle/internal/mem"
+	"memthrottle/internal/sim"
+	"memthrottle/internal/simsched"
+	"memthrottle/internal/stream"
+	"memthrottle/internal/workload"
+)
+
+// Time is virtual time in seconds (float64-based).
+type Time = sim.Time
+
+// Common durations for building programs and configs.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Re-exported building blocks. The aliases keep the public API to one
+// import for simulation-based use; the underlying packages stay
+// internal.
+type (
+	// MemParams are the fluid memory-contention coefficients
+	// (seconds per byte): task time = bytes * (Tml + a*Tql) at
+	// concurrency a.
+	MemParams = contend.Params
+	// DRAMConfig describes the request-level DRAM model geometry and
+	// timing used for calibration.
+	DRAMConfig = mem.Config
+	// Calibration is a fitted contention law from the request-level
+	// DRAM model.
+	Calibration = mem.Calibration
+	// SimConfig configures a scheduler simulation run.
+	SimConfig = simsched.Config
+	// SimResult is the outcome of one simulated run.
+	SimResult = simsched.Result
+	// Program is a gather-compute-scatter stream program.
+	Program = stream.Program
+	// PhaseSpec declares one phase of a stream program.
+	PhaseSpec = stream.PhaseSpec
+	// Model is the paper's analytical performance model (§IV-A).
+	Model = core.Model
+	// Throttler is a run-time MTL policy.
+	Throttler = core.Throttler
+	// Workloads builds the paper's benchmark suite against calibrated
+	// memory parameters.
+	Workloads = workload.Library
+	// ExperimentTable is one regenerated table or figure.
+	ExperimentTable = experiments.Table
+	// ExperimentEnv is the calibrated environment experiments run in.
+	ExperimentEnv = experiments.Env
+)
+
+// DDR3 returns the paper's base memory platform: one 8.5 GB/s
+// DDR3-1066 channel.
+func DDR3() DRAMConfig { return mem.DDR3_1066() }
+
+// Calibrate runs k = 1..maxK concurrent task streams through the
+// request-level DRAM model and fits the contention law
+// Tm_k = Tml + k*Tql used by the fluid simulator.
+func Calibrate(cfg DRAMConfig, maxK int) (Calibration, error) {
+	return mem.Calibrate(cfg, maxK, 6, workload.Footprint)
+}
+
+// ParamsFrom converts a calibration into fluid memory parameters.
+func ParamsFrom(cal Calibration) MemParams { return contend.FromCalibration(cal) }
+
+// NewWorkloads returns the benchmark suite (synthetic kernel, dft,
+// streamcluster, SIFT) parameterised by the calibrated memory system.
+func NewWorkloads(p MemParams) Workloads { return workload.NewLibrary(p) }
+
+// BuildProgram assembles a custom stream program from phase specs.
+func BuildProgram(name string, phases ...PhaseSpec) *Program {
+	return stream.Build(name, phases...)
+}
+
+// DefaultSimConfig returns the paper's base platform (4-core i7-860,
+// 8 MB LLC, 1 DIMM) for the given memory parameters.
+func DefaultSimConfig(p MemParams) SimConfig { return simsched.Default(p) }
+
+// NewModel returns the analytical model for an n-core machine.
+func NewModel(n int) Model { return core.NewModel(n) }
+
+// Policy constructors.
+
+// ConventionalPolicy is the interference-oblivious baseline: MTL = n.
+func ConventionalPolicy(n int) Throttler { return core.Fixed{K: n} }
+
+// StaticPolicy enforces a fixed MTL (the Offline Exhaustive Search
+// winner when chosen from offline runs).
+func StaticPolicy(k int) Throttler { return core.Fixed{K: k} }
+
+// DynamicPolicy is the paper's run-time memory thread throttling
+// mechanism for an n-core machine with monitor window w.
+func DynamicPolicy(n, w int) Throttler { return core.NewDynamic(core.NewModel(n), w) }
+
+// OnlinePolicy is the naive Online Exhaustive Search baseline (§V).
+func OnlinePolicy(n, w int) Throttler {
+	return core.NewOnlineExhaustive(core.NewModel(n), w, 0.10)
+}
+
+// Simulate runs a stream program on the simulated machine under the
+// given policy. The policy must be freshly constructed per run.
+func Simulate(prog *Program, cfg SimConfig, policy Throttler) SimResult {
+	return simsched.Run(prog, cfg, policy)
+}
+
+// NewExperimentEnv calibrates the simulated platform for experiment
+// regeneration. quick reduces repetitions for smoke runs.
+func NewExperimentEnv(quick bool) (ExperimentEnv, error) {
+	return experiments.DefaultEnv(quick)
+}
+
+// ExperimentIDs lists the regenerable artifacts in paper order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, s := range experiments.Catalog() {
+		ids = append(ids, s.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one table or figure by ID (see
+// ExperimentIDs).
+func RunExperiment(env ExperimentEnv, id string) (ExperimentTable, error) {
+	spec, ok := experiments.Find(id)
+	if !ok {
+		return ExperimentTable{}, fmt.Errorf("memthrottle: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return spec.Run(env), nil
+}

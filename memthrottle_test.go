@@ -1,0 +1,79 @@
+package memthrottle
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cal, err := Calibrate(DDR3(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ParamsFrom(cal)
+	wl := NewWorkloads(p)
+	prog := wl.Synthetic(0.5, 512<<10, 40)
+	cfg := DefaultSimConfig(p)
+
+	conv := Simulate(prog, cfg, ConventionalPolicy(4))
+	dyn := Simulate(prog, cfg, DynamicPolicy(4, 8))
+	if dyn.PairsCompleted != 40 || conv.PairsCompleted != 40 {
+		t.Fatal("pairs lost in facade round trip")
+	}
+	speedup := float64(conv.TotalTime) / float64(dyn.TotalTime)
+	if speedup < 1.0 {
+		t.Errorf("dynamic slower than conventional at the sweet spot: %.3f", speedup)
+	}
+}
+
+func TestFacadeCustomProgram(t *testing.T) {
+	cal, err := Calibrate(DDR3(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ParamsFrom(cal)
+	prog := BuildProgram("custom",
+		PhaseSpec{Name: "a", Pairs: 8, MemBytes: 256 << 10, ComputeTime: 1e-3},
+	)
+	res := Simulate(prog, DefaultSimConfig(p), StaticPolicy(2))
+	if res.PairsCompleted != 8 {
+		t.Errorf("completed %d pairs, want 8", res.PairsCompleted)
+	}
+}
+
+func TestExperimentLookup(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 10 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	env, err := NewExperimentEnv(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := RunExperiment(env, "T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "dft") {
+		t.Error("T2 table missing dft row")
+	}
+	if _, err := RunExperiment(env, "bogus"); err == nil {
+		t.Error("bogus experiment id accepted")
+	}
+}
+
+func TestModelFacade(t *testing.T) {
+	m := NewModel(4)
+	if m.IdleBound(1e-6, 10e-6) != 1 {
+		t.Error("facade model misbehaves")
+	}
+	if OnlinePolicy(4, 8).Name() != "online-exhaustive" {
+		t.Error("online policy name")
+	}
+	if StaticPolicy(3).MTL() != 3 {
+		t.Error("static policy MTL")
+	}
+	if ConventionalPolicy(4).MTL() != 4 {
+		t.Error("conventional policy MTL")
+	}
+}
