@@ -1,0 +1,31 @@
+# Tier-1 gate for the memthrottle reproduction. `make check` is what CI
+# (and any pre-merge hand check) runs: formatting, vet, a full build,
+# and the test suite under the race detector — load-bearing now that
+# the experiment run engine (internal/parallel) is concurrent.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race suite covers everything test does, plus the concurrency of
+# the parallel run engine, the calibration cache and the baseline memo.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -21,6 +21,7 @@ import (
 	"memthrottle/internal/core"
 	"memthrottle/internal/experiments"
 	"memthrottle/internal/mem"
+	"memthrottle/internal/parallel"
 	"memthrottle/internal/sim"
 	"memthrottle/internal/simsched"
 	"memthrottle/internal/workload"
@@ -70,6 +71,23 @@ func BenchmarkCalibrateDRAM(b *testing.B) {
 	b.ReportMetric(cal.R2, "fit_R2")
 }
 
+// BenchmarkCalibrateCachedHit measures the process-wide calibration
+// cache on the hit path — the cost every DefaultEnv after the first
+// pays instead of BenchmarkCalibrateDRAM's full simulation.
+func BenchmarkCalibrateCachedHit(b *testing.B) {
+	cfg := mem.DDR3_1066()
+	if _, err := mem.CalibrateCached(cfg, 4, 6, workload.Footprint); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mem.CalibrateCached(cfg, 4, 6, workload.Footprint); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTable2Ratios(b *testing.B) {
 	tab := runSpec(b, "T2")
 	if len(tab.Rows) != 7 {
@@ -112,6 +130,23 @@ func BenchmarkFig13cSweep(b *testing.B) { fig13(b, 2<<20) }
 func BenchmarkFig14Realistic(b *testing.B) {
 	tab := runSpec(b, "F14")
 	// Last row is the geometric mean; column 3 is the dynamic speedup.
+	gmeanRow := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(mustF(b, gmeanRow[3]), "dyn_gmean_speedup_x")
+	b.ReportMetric(float64(parallel.Workers(0)), "workers")
+}
+
+// BenchmarkFig14Serial is the single-worker baseline for the parallel
+// run engine: the ns/op gap to BenchmarkFig14Realistic is the fan-out
+// win on this host (identical tables either way — see
+// TestParallelTablesByteIdentical).
+func BenchmarkFig14Serial(b *testing.B) {
+	env := benchEnvironment(b).WithWorkers(1)
+	var tab experiments.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig14(env)
+	}
+	b.StopTimer()
 	gmeanRow := tab.Rows[len(tab.Rows)-1]
 	b.ReportMetric(mustF(b, gmeanRow[3]), "dyn_gmean_speedup_x")
 }

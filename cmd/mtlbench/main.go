@@ -5,30 +5,50 @@
 //
 //	mtlbench -all                 # everything, paper methodology (20 reps)
 //	mtlbench -all -quick          # everything, 3 reps
+//	mtlbench -all -quick -j 8     # same, fanned out over 8 workers
 //	mtlbench -fig F14             # one artifact
 //	mtlbench -fig F13a -step 0.02 # denser Fig. 13 sweep
+//	mtlbench -all -quick -timings BENCH_baseline.json
 //	mtlbench -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"time"
 
 	"memthrottle/internal/experiments"
+	"memthrottle/internal/parallel"
 )
+
+// timingSnapshot is the -timings JSON shape: per-experiment wall-clock
+// plus enough context (reps mode, workers, host) to compare snapshots.
+type timingSnapshot struct {
+	Generated      string             `json:"generated"`
+	Quick          bool               `json:"quick"`
+	Workers        int                `json:"workers"`
+	GOMAXPROCS     int                `json:"gomaxprocs"`
+	CalibrationSec float64            `json:"calibration_sec"`
+	TotalSec       float64            `json:"total_sec"`
+	Experiments    map[string]float64 `json:"experiments"`
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mtlbench: ")
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		fig    = flag.String("fig", "", "run one experiment by ID (e.g. F14)")
-		list   = flag.Bool("list", false, "list experiment IDs")
-		quick  = flag.Bool("quick", false, "3 repetitions instead of the paper's 20")
-		step   = flag.Float64("step", 0, "override the Fig. 13 ratio step (paper: 0.01)")
-		format = flag.String("format", "text", "output format: text | csv | json")
+		all     = flag.Bool("all", false, "run every experiment")
+		fig     = flag.String("fig", "", "run one experiment by ID (e.g. F14)")
+		list    = flag.Bool("list", false, "list experiment IDs")
+		quick   = flag.Bool("quick", false, "3 repetitions instead of the paper's 20")
+		step    = flag.Float64("step", 0, "override the Fig. 13 ratio step (paper: 0.01)")
+		format  = flag.String("format", "text", "output format: text | csv | json")
+		jobs    = flag.Int("j", 0, "worker goroutines for independent runs (0 = GOMAXPROCS)")
+		timings = flag.String("timings", "", "write a per-experiment wall-clock snapshot to this JSON file")
 	)
 	flag.Parse()
 
@@ -41,16 +61,28 @@ func main() {
 	if !*all && *fig == "" {
 		log.Fatal("nothing to do: pass -all, -fig ID, or -list")
 	}
+	var only experiments.Spec
+	if *fig != "" {
+		var ok bool
+		if only, ok = experiments.Find(*fig); !ok {
+			log.Fatalf("unknown experiment %q; try -list", *fig)
+		}
+	}
 
+	parallel.SetDefault(*jobs)
 	t0 := time.Now()
 	env, err := experiments.DefaultEnv(*quick)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("calibrated platform in %v (Tm4/Tm1 = %.2f on 1 DIMM)\n\n",
+	env = env.WithWorkers(*jobs)
+	calSec := time.Since(t0).Seconds()
+	fmt.Printf("calibrated platform in %v (Tm4/Tm1 = %.2f on 1 DIMM, %d workers)\n\n",
 		time.Since(t0).Round(time.Millisecond),
-		float64(env.Cal1.Tm[3])/float64(env.Cal1.Tm[0]))
+		float64(env.Cal1.Tm[3])/float64(env.Cal1.Tm[0]),
+		parallel.Workers(*jobs))
 
+	elapsed := make(map[string]float64)
 	run := func(s experiments.Spec) {
 		t1 := time.Now()
 		var tab experiments.Table
@@ -68,25 +100,40 @@ func main() {
 		} else {
 			tab = s.Run(env)
 		}
+		tab.Elapsed = time.Since(t1).Seconds()
+		elapsed[s.ID] = tab.Elapsed
 		out, err := tab.Render(*format)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(out)
-		if *format == "text" {
-			fmt.Printf("(%s finished in %v)\n\n", s.ID, time.Since(t1).Round(time.Millisecond))
-		}
 	}
 
 	if *all {
 		for _, s := range experiments.Catalog() {
 			run(s)
 		}
-		return
+	} else {
+		run(only)
 	}
-	spec, ok := experiments.Find(*fig)
-	if !ok {
-		log.Fatalf("unknown experiment %q; try -list", *fig)
+
+	if *timings != "" {
+		snap := timingSnapshot{
+			Generated:      time.Now().UTC().Format(time.RFC3339),
+			Quick:          *quick,
+			Workers:        parallel.Workers(*jobs),
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			CalibrationSec: calSec,
+			TotalSec:       time.Since(t0).Seconds(),
+			Experiments:    elapsed,
+		}
+		b, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*timings, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote timing snapshot to %s\n", *timings)
 	}
-	run(spec)
 }

@@ -20,6 +20,7 @@ import (
 	"memthrottle/internal/core"
 	"memthrottle/internal/machine"
 	"memthrottle/internal/mem"
+	"memthrottle/internal/parallel"
 	"memthrottle/internal/simsched"
 	"memthrottle/internal/stream"
 	"memthrottle/internal/workload"
@@ -41,10 +42,12 @@ func main() {
 		channels = flag.Int("channels", 1, "memory channels")
 		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart")
 		seed     = flag.Int64("seed", 1, "noise seed")
+		jobs     = flag.Int("j", 0, "worker goroutines for independent runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	cal, err := mem.Calibrate(mem.DDR3_1066().WithChannels(*channels), *cores**smt, 6, workload.Footprint)
+	parallel.SetDefault(*jobs)
+	cal, err := mem.CalibrateCached(mem.DDR3_1066().WithChannels(*channels), *cores**smt, 6, workload.Footprint)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,8 +91,15 @@ func main() {
 		}
 	}
 
-	res := simsched.Run(prog, cfg, mkPolicy(*policy))
-	base := simsched.Run(prog, cfg, core.Fixed{K: n})
+	// The policy run and its conventional baseline are independent
+	// simulations; fan them out like the experiment layer does.
+	runs := parallel.Map(0, 2, func(i int) simsched.Result {
+		if i == 0 {
+			return simsched.Run(prog, cfg, mkPolicy(*policy))
+		}
+		return simsched.Run(prog, cfg, core.Fixed{K: n})
+	})
+	res, base := runs[0], runs[1]
 
 	fmt.Printf("workload : %s (%d pairs, %d phases)\n", prog.Name, prog.TotalPairs(), len(prog.Phases))
 	fmt.Printf("machine  : %d cores x %d SMT, %d channel(s)\n", *cores, *smt, *channels)

@@ -5,6 +5,7 @@ import (
 
 	"memthrottle/internal/core"
 	"memthrottle/internal/machine"
+	"memthrottle/internal/parallel"
 	"memthrottle/internal/sim"
 	"memthrottle/internal/stream"
 	"memthrottle/internal/workload"
@@ -46,15 +47,20 @@ func AblationPhaseDetect(e Env) Table {
 		name string
 		mk   func() core.Throttler
 	}
-	for _, v := range []variant{
+	variants := []variant{
 		{"IdleBound (paper)", func() core.Throttler { return core.NewDynamic(model, e.W) }},
 		{"naive ratio >10%", func() core.Throttler {
 			return core.NewDynamicOpts(model, e.W, core.DynamicOptions{NaiveRatioTrigger: 0.10})
 		}},
-	} {
+	}
+	rows := parallel.Map(e.jobs(), len(variants), func(i int) []string {
+		v := variants[i]
 		s, rep := e.Speedup(prog, cfg, v.mk)
-		t.AddRow(v.name, f3(s), fmt.Sprintf("%d", len(rep.MTLDecisions)),
-			fmt.Sprintf("%d", rep.TotalProbes), fmt.Sprintf("%d", rep.MonitoredPairs))
+		return []string{v.name, f3(s), fmt.Sprintf("%d", len(rep.MTLDecisions)),
+			fmt.Sprintf("%d", rep.TotalProbes), fmt.Sprintf("%d", rep.MonitoredPairs)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"every wobble phase shifts the ratio but not the idle behaviour: the coarse detector should select once")
@@ -71,24 +77,25 @@ func AblationSearch(e Env) Table {
 		Columns: []string{"threads", "search", "speedup", "probe windows"},
 	}
 	prog := e.Lib().SIFT()
-	for _, smt := range []bool{false, true} {
+	rows := parallel.Map(e.jobs(), 4, func(idx int) []string {
+		smt, lin := idx/2 == 1, idx%2 == 1
 		cfg := e.Cfg()
 		if smt {
 			cfg.Machine = machine.I7860().WithSMT(2)
 		}
 		model := Model(cfg)
 		threads := cfg.Machine.HardwareThreads()
-		for _, lin := range []bool{false, true} {
-			lin := lin
-			name := "binary (paper)"
-			if lin {
-				name = "linear"
-			}
-			s, rep := e.Speedup(prog, cfg, func() core.Throttler {
-				return core.NewDynamicOpts(model, e.W, core.DynamicOptions{LinearSearch: lin})
-			})
-			t.AddRow(fmt.Sprintf("%d", threads), name, f3(s), fmt.Sprintf("%d", rep.TotalProbes))
+		name := "binary (paper)"
+		if lin {
+			name = "linear"
 		}
+		s, rep := e.Speedup(prog, cfg, func() core.Throttler {
+			return core.NewDynamicOpts(model, e.W, core.DynamicOptions{LinearSearch: lin})
+		})
+		return []string{fmt.Sprintf("%d", threads), name, f3(s), fmt.Sprintf("%d", rep.TotalProbes)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }

@@ -18,6 +18,7 @@ import (
 	"memthrottle/internal/core"
 	"memthrottle/internal/machine"
 	"memthrottle/internal/mem"
+	"memthrottle/internal/parallel"
 	"memthrottle/internal/simsched"
 	"memthrottle/internal/stats"
 	"memthrottle/internal/stream"
@@ -40,7 +41,33 @@ type Env struct {
 	Keep       int     // middle results kept (paper: 10)
 	NoiseSigma float64 // simulated system noise
 	W          int     // default monitor window (paper: 16)
+
+	// Workers bounds the fan-out of independent simulation runs
+	// (0 = the process default, normally GOMAXPROCS). Every run owns
+	// its virtual clock, so the worker count never changes a result —
+	// only how fast the grid of (workload, config, policy, seed)
+	// points drains.
+	Workers int
+
+	// memo caches conventional-schedule baselines per (program,
+	// config); shared by all copies of this Env.
+	memo *baselineMemo
 }
+
+// WithWorkers returns a copy of the environment with the given
+// parallel worker budget (0 = process default). The baseline memo is
+// shared with the receiver, which is safe: memoised values are
+// deterministic and independent of the worker count.
+func (e Env) WithWorkers(n int) Env {
+	if n < 0 {
+		n = 0
+	}
+	e.Workers = n
+	return e
+}
+
+// jobs resolves the environment's worker budget.
+func (e Env) jobs() int { return parallel.Workers(e.Workers) }
 
 // DefaultEnv calibrates the DRAM models and returns the paper's
 // methodology parameters. Pass quick=true to cut repetitions for
@@ -61,13 +88,17 @@ func DefaultEnv(quick bool) (Env, error) {
 	if quick {
 		e.Reps, e.Keep = 3, 3
 	}
+	e.memo = newBaselineMemo()
+	// Calibration is deterministic per DRAM config, so it is cached
+	// process-wide: every test, benchmark and CLI entry point pays
+	// for each configuration at most once.
 	const maxK = 8 // calibrate up to the SMT thread count
 	var err error
-	e.Cal1, err = mem.Calibrate(e.DRAM1, maxK, 6, workload.Footprint)
+	e.Cal1, err = mem.CalibrateCached(e.DRAM1, maxK, 6, workload.Footprint)
 	if err != nil {
 		return Env{}, fmt.Errorf("experiments: 1-DIMM calibration: %w", err)
 	}
-	e.Cal2, err = mem.Calibrate(e.DRAM2, maxK, 6, workload.Footprint)
+	e.Cal2, err = mem.CalibrateCached(e.DRAM2, maxK, 6, workload.Footprint)
 	if err != nil {
 		return Env{}, fmt.Errorf("experiments: 2-DIMM calibration: %w", err)
 	}
@@ -97,41 +128,52 @@ func (e Env) Cfg2(smt bool) simsched.Config {
 	return c
 }
 
-// runTrimmed executes reps seeded runs and returns the trimmed-mean
-// total time plus a representative (first-seed) result.
+// runTrimmed executes reps seeded runs as one parallel batch and
+// returns the trimmed-mean total time plus a representative
+// (first-seed) result. Each repetition owns its engine and RNG, so
+// the fan-out is measurement-neutral: results are assembled in seed
+// order and the trimmed mean is identical to a serial loop.
 func (e Env) runTrimmed(prog *stream.Program, cfg simsched.Config, mk func() core.Throttler) (float64, simsched.Result) {
-	times := make([]float64, 0, e.Reps)
-	var rep simsched.Result
-	for r := 0; r < e.Reps; r++ {
+	results := parallel.Map(e.jobs(), e.Reps, func(r int) simsched.Result {
 		c := cfg
 		c.Seed = int64(r + 1)
-		res := simsched.Run(prog, c, mk())
-		if r == 0 {
-			rep = res
-		}
+		return simsched.Run(prog, c, mk())
+	})
+	times := make([]float64, 0, e.Reps)
+	for _, res := range results {
 		times = append(times, float64(res.TotalTime))
 	}
-	return stats.TrimmedMean(times, e.Keep), rep
+	return stats.TrimmedMean(times, e.Keep), results[0]
 }
 
 // Speedup measures the policy's trimmed-mean speedup over the
-// conventional MTL=n schedule on the same config.
+// conventional MTL=n schedule on the same config. The baseline comes
+// from the shared memo, so repeated comparisons against one
+// (program, config) pay for the baseline runs once.
 func (e Env) Speedup(prog *stream.Program, cfg simsched.Config, mk func() core.Throttler) (float64, simsched.Result) {
-	n := cfg.Machine.HardwareThreads()
-	base, _ := e.runTrimmed(prog, cfg, func() core.Throttler { return core.Fixed{K: n} })
+	base, _ := e.Baseline(prog, cfg)
 	t, rep := e.runTrimmed(prog, cfg, mk)
 	return stats.Speedup(base, t), rep
 }
 
 // OfflineBest exhaustively searches fixed MTLs (the Offline Exhaustive
-// Search baseline) and returns the winning MTL and its speedup.
+// Search baseline) and returns the winning MTL and its speedup. The
+// per-MTL probes run as one parallel batch; MTL = n is the
+// conventional baseline itself and is served from the memo. Ties keep
+// the lowest MTL, exactly as the serial sweep did.
 func (e Env) OfflineBest(prog *stream.Program, cfg simsched.Config) (bestK int, bestSpeedup float64) {
 	n := cfg.Machine.HardwareThreads()
-	base, _ := e.runTrimmed(prog, cfg, func() core.Throttler { return core.Fixed{K: n} })
-	for k := 1; k <= n; k++ {
-		k := k
+	base, _ := e.Baseline(prog, cfg)
+	times := parallel.Map(e.jobs(), n, func(i int) float64 {
+		k := i + 1
+		if k == n {
+			return base
+		}
 		t, _ := e.runTrimmed(prog, cfg, func() core.Throttler { return core.Fixed{K: k} })
-		if s := stats.Speedup(base, t); bestK == 0 || s > bestSpeedup {
+		return t
+	})
+	for k := 1; k <= n; k++ {
+		if s := stats.Speedup(base, times[k-1]); bestK == 0 || s > bestSpeedup {
 			bestK, bestSpeedup = k, s
 		}
 	}
@@ -150,6 +192,12 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+
+	// Elapsed is the wall-clock cost of regenerating the table, in
+	// seconds. Experiments leave it zero — table content must stay
+	// deterministic — and the CLI stamps it after the run, so every
+	// render format can report it without perturbing the data rows.
+	Elapsed float64
 }
 
 // AddRow appends a formatted row.
@@ -185,6 +233,9 @@ func (t Table) String() string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if t.Elapsed > 0 {
+		fmt.Fprintf(&b, "(%s finished in %.3fs)\n", t.ID, t.Elapsed)
 	}
 	return b.String()
 }

@@ -29,6 +29,11 @@ func (t Table) CSV() (string, error) {
 			return "", fmt.Errorf("experiments: csv note: %w", err)
 		}
 	}
+	if t.Elapsed > 0 {
+		if err := w.Write([]string{"#elapsed", fmt.Sprintf("%.3f", t.Elapsed)}); err != nil {
+			return "", fmt.Errorf("experiments: csv elapsed: %w", err)
+		}
+	}
 	w.Flush()
 	return buf.String(), w.Error()
 }
@@ -40,12 +45,14 @@ type jsonTable struct {
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
 	Notes   []string   `json:"notes,omitempty"`
+	Elapsed float64    `json:"elapsed_sec,omitempty"`
 }
 
 // JSON renders the table as an indented JSON document.
 func (t Table) JSON() (string, error) {
 	b, err := json.MarshalIndent(jsonTable{
 		ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes,
+		Elapsed: t.Elapsed,
 	}, "", "  ")
 	if err != nil {
 		return "", fmt.Errorf("experiments: json: %w", err)

@@ -67,6 +67,46 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestElapsedInAllFormats pins the wall-clock reporting contract: a
+// stamped Elapsed shows up in every render format, and an unstamped
+// table (as experiments return them) emits no timing at all, keeping
+// table output deterministic.
+func TestElapsedInAllFormats(t *testing.T) {
+	tab := exportSample()
+	for _, f := range []string{"text", "csv", "json"} {
+		out, err := tab.Render(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(out, "elapsed") || strings.Contains(out, "finished in") {
+			t.Errorf("unstamped table leaks timing in %s:\n%s", f, out)
+		}
+	}
+
+	tab.Elapsed = 1.5
+	text, _ := tab.Render("text")
+	if !strings.Contains(text, "(F0 finished in 1.500s)") {
+		t.Errorf("text render missing elapsed line:\n%s", text)
+	}
+	csvOut, _ := tab.Render("csv")
+	recs, err := csv.NewReader(strings.NewReader(csvOut)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := recs[len(recs)-1]
+	if last[0] != "#elapsed" || last[1] != "1.500" {
+		t.Errorf("csv render missing #elapsed record: %v", last)
+	}
+	jsonOut, _ := tab.Render("json")
+	var got jsonTable
+	if err := json.Unmarshal([]byte(jsonOut), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Elapsed != 1.5 {
+		t.Errorf("json elapsed_sec = %v, want 1.5", got.Elapsed)
+	}
+}
+
 func TestRenderFormats(t *testing.T) {
 	tab := exportSample()
 	for _, f := range []string{"", "text", "csv", "json"} {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memthrottle/internal/core"
+	"memthrottle/internal/parallel"
 	"memthrottle/internal/stats"
 )
 
@@ -23,6 +24,11 @@ type Fig13Point struct {
 // reporting for each the best static MTL (S-MTL), its measured speedup
 // over the conventional schedule, and the analytical model's
 // prediction from the same runs' Tm/Tc measurements.
+//
+// The sweep's (ratio, MTL, seed) grid is embarrassingly parallel: each
+// ratio point fans out across the environment's worker budget and the
+// points are assembled in ratio order, so the output is identical to
+// the serial sweep.
 func Fig13Sweep(e Env, footprint float64, lo, hi, step float64, pairs int) []Fig13Point {
 	if step <= 0 || lo <= 0 || hi < lo {
 		panic(fmt.Sprintf("experiments: bad sweep [%g, %g] step %g", lo, hi, step))
@@ -32,13 +38,20 @@ func Fig13Sweep(e Env, footprint float64, lo, hi, step float64, pairs int) []Fig
 	model := Model(cfg)
 	n := cfg.Machine.HardwareThreads()
 
-	var points []Fig13Point
+	// The ratio schedule accumulates exactly as the serial loop did,
+	// so float rounding cannot shift any grid point.
+	var ratios []float64
 	for ratio := lo; ratio <= hi+1e-9; ratio += step {
+		ratios = append(ratios, ratio)
+	}
+
+	return parallel.Map(e.jobs(), len(ratios), func(i int) Fig13Point {
+		ratio := ratios[i]
 		prog := lib.Synthetic(ratio, footprint, pairs)
 
 		times := make([]float64, n+1)
 		tm := make([]float64, n+1)
-		var tcObs, missAtBest float64
+		var tcObs float64
 		missByK := make([]float64, n+1)
 		for k := 1; k <= n; k++ {
 			k := k
@@ -57,13 +70,11 @@ func Fig13Sweep(e Env, footprint float64, lo, hi, step float64, pairs int) []Fig
 				p.SMTL, p.Measured = k, s
 			}
 		}
-		missAtBest = missByK[p.SMTL]
-		p.MissFraction = missAtBest
+		p.MissFraction = missByK[p.SMTL]
 		p.Model = model.Speedup(core.Time(tm[n]), core.Time(tm[p.SMTL]), core.Time(tcObs), p.SMTL)
 		p.MeasuredError = stats.RelErr(p.Model, p.Measured)
-		points = append(points, p)
-	}
-	return points
+		return p
+	})
 }
 
 // Fig13 renders a sweep as a table. Footprints of 0.5, 1 and 2 MB

@@ -5,6 +5,7 @@ import (
 
 	"memthrottle/internal/core"
 	"memthrottle/internal/machine"
+	"memthrottle/internal/parallel"
 	"memthrottle/internal/simsched"
 	"memthrottle/internal/stats"
 	"memthrottle/internal/stream"
@@ -39,17 +40,31 @@ func Fig14(e Env) Table {
 	}
 	cfg := e.Cfg()
 	model := Model(cfg)
-	var off, dyn, onl []float64
-	for _, prog := range realWorkloads(e.Lib()) {
+	progs := realWorkloads(e.Lib())
+	// One parallel batch per workload; the three policy evaluations
+	// inside share the memoised MTL=n baseline.
+	type f14row struct {
+		cells         []string
+		off, dyn, onl float64
+	}
+	rows := parallel.Map(e.jobs(), len(progs), func(i int) f14row {
+		prog := progs[i]
 		w := bestW(prog, e.W)
 		offK, offS := e.OfflineBest(prog, cfg)
 		dynS, dynRep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, w) })
 		onlS, onlRep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewOnlineExhaustive(model, w, 0.10) })
-		t.AddRow(prog.Name, f3(offS), fmt.Sprintf("%d", offK),
-			f3(dynS), mtlHistory(dynRep), f3(onlS), mtlHistory(onlRep))
-		off = append(off, offS)
-		dyn = append(dyn, dynS)
-		onl = append(onl, onlS)
+		return f14row{
+			cells: []string{prog.Name, f3(offS), fmt.Sprintf("%d", offK),
+				f3(dynS), mtlHistory(dynRep), f3(onlS), mtlHistory(onlRep)},
+			off: offS, dyn: dynS, onl: onlS,
+		}
+	})
+	var off, dyn, onl []float64
+	for _, r := range rows {
+		t.AddRow(r.cells...)
+		off = append(off, r.off)
+		dyn = append(dyn, r.dyn)
+		onl = append(onl, r.onl)
 	}
 	t.AddRow("gmean", f3(stats.Geomean(off)), "-", f3(stats.Geomean(dyn)), "-",
 		f3(stats.Geomean(onl)), "-")
@@ -87,13 +102,17 @@ func Fig15(e Env) Table {
 	}
 	cfg := e.Cfg()
 	model := Model(cfg)
-	for _, prog := range realWorkloads(e.Lib()) {
-		row := []string{prog.Name}
-		for _, w := range []int{4, 8, 16, 24} {
-			w := w
-			s, _ := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, w) })
-			row = append(row, f3(s))
-		}
+	progs := realWorkloads(e.Lib())
+	windows := []int{4, 8, 16, 24}
+	// The whole workload x window grid is one parallel batch; each
+	// workload's baseline is computed once via the memo.
+	cells := parallel.Map(e.jobs(), len(progs)*len(windows), func(idx int) string {
+		prog, w := progs[idx/len(windows)], windows[idx%len(windows)]
+		s, _ := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, w) })
+		return f3(s)
+	})
+	for i, prog := range progs {
+		row := append([]string{prog.Name}, cells[i*len(windows):(i+1)*len(windows)]...)
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
@@ -116,10 +135,12 @@ func Fig16(e Env) Table {
 	model := Model(cfg)
 
 	// One full-SIFT dynamic run per rep gives the per-phase MTL; the
-	// per-phase speedup comes from standalone phase runs.
+	// per-phase speedup comes from standalone phase runs, fanned out
+	// across every SIFT function.
 	_, rep := e.runTrimmed(lib.SIFT(), cfg, func() core.Throttler { return core.NewDynamic(model, e.W) })
 
-	for i, f := range workload.SIFTFunctions {
+	rows := parallel.Map(e.jobs(), len(workload.SIFTFunctions), func(i int) []string {
+		f := workload.SIFTFunctions[i]
 		phase := lib.SIFTPhase(f.Name)
 		offK, offS := e.OfflineBest(phase, cfg)
 		dynS, _ := e.Speedup(phase, cfg, func() core.Throttler { return core.NewDynamic(model, 8) })
@@ -127,7 +148,10 @@ func Fig16(e Env) Table {
 		if i < len(rep.PhaseMTL) {
 			dynMTL = fmt.Sprintf("%d", rep.PhaseMTL[i])
 		}
-		t.AddRow(f.Name, pct(f.Ratio), f3(offS), fmt.Sprintf("%d", offK), f3(dynS), dynMTL)
+		return []string{f.Name, pct(f.Ratio), f3(offS), fmt.Sprintf("%d", offK), f3(dynS), dynMTL}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper: ECONVOLVE picks MTL=2, ECONVOLVE2 switches to MTL=1; dynamic ~= offline")
@@ -145,13 +169,16 @@ func Fig17(e Env) Table {
 	lib := e.Lib()
 	cfg := e.Cfg()
 	model := Model(cfg)
-	for _, dim := range workload.StreamclusterDims {
-		prog := lib.Streamcluster(dim)
+	rows := parallel.Map(e.jobs(), len(workload.StreamclusterDims), func(i int) []string {
+		prog := lib.Streamcluster(workload.StreamclusterDims[i])
 		paper, _ := workload.TableIIRatio(prog.Name)
 		offK, offS := e.OfflineBest(prog, cfg)
 		dynS, rep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, e.W) })
-		t.AddRow(prog.Name, pct(paper), f3(offS), fmt.Sprintf("%d", offK),
-			f3(dynS), mtlHistory(rep))
+		return []string{prog.Name, pct(paper), f3(offS), fmt.Sprintf("%d", offK),
+			f3(dynS), mtlHistory(rep)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper: D-MTL=1 for low-ratio inputs (e.g. d32), D-MTL=2 for d36 (54.13%)")
@@ -167,17 +194,21 @@ func Fig18(e Env) Table {
 		Columns: []string{"workload", "threads", "offline speedup", "offline MTL",
 			"dynamic speedup", "dynamic D-MTL"},
 	}
-	for _, smt := range []bool{false, true} {
-		cfg := e.Cfg2(smt)
+	progs := realWorkloads(e.Lib())
+	smts := []bool{false, true}
+	rows := parallel.Map(e.jobs(), len(smts)*len(progs), func(idx int) []string {
+		cfg := e.Cfg2(smts[idx/len(progs)])
 		model := Model(cfg)
 		threads := cfg.Machine.HardwareThreads()
-		for _, prog := range realWorkloads(e.Lib()) {
-			w := bestW(prog, e.W)
-			offK, offS := e.OfflineBest(prog, cfg)
-			dynS, rep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, w) })
-			t.AddRow(prog.Name, fmt.Sprintf("%d", threads), f3(offS),
-				fmt.Sprintf("%d", offK), f3(dynS), mtlHistory(rep))
-		}
+		prog := progs[idx%len(progs)]
+		w := bestW(prog, e.W)
+		offK, offS := e.OfflineBest(prog, cfg)
+		dynS, rep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, w) })
+		return []string{prog.Name, fmt.Sprintf("%d", threads), f3(offS),
+			fmt.Sprintf("%d", offK), f3(dynS), mtlHistory(rep)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper: 3.0-9.1% at 4 threads (channel parallelism eases contention); larger again with SMT (streamcluster ~13%)")
@@ -195,19 +226,26 @@ func OverheadX1(e Env) Table {
 	}
 	prog := e.Lib().Streamcluster(128)
 	frac := func(r simsched.Result) float64 { return float64(r.OverheadTime) / float64(r.TotalTime) }
-	for _, smt := range []bool{false, true} {
+	rows := parallel.Map(e.jobs(), 2, func(i int) [][]string {
 		cfg := e.Cfg()
-		if smt {
+		if i == 1 {
 			cfg.Machine = machine.I7860().WithSMT(2)
 		}
 		model := Model(cfg)
 		threads := fmt.Sprintf("%d", cfg.Machine.HardwareThreads())
 		dynS, dynRep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, e.W) })
 		onlS, onlRep := e.Speedup(prog, cfg, func() core.Throttler { return core.NewOnlineExhaustive(model, e.W, 0.10) })
-		t.AddRow(threads, "dynamic", pct(frac(dynRep)), fmt.Sprintf("%d", dynRep.MonitoredPairs),
-			fmt.Sprintf("%d", dynRep.TotalProbes), f3(dynS))
-		t.AddRow(threads, "online", pct(frac(onlRep)), fmt.Sprintf("%d", onlRep.MonitoredPairs),
-			fmt.Sprintf("%d", onlRep.TotalProbes), f3(onlS))
+		return [][]string{
+			{threads, "dynamic", pct(frac(dynRep)), fmt.Sprintf("%d", dynRep.MonitoredPairs),
+				fmt.Sprintf("%d", dynRep.TotalProbes), f3(dynS)},
+			{threads, "online", pct(frac(onlRep)), fmt.Sprintf("%d", onlRep.MonitoredPairs),
+				fmt.Sprintf("%d", onlRep.TotalProbes), f3(onlS)},
+		}
+	})
+	for _, pair := range rows {
+		for _, row := range pair {
+			t.AddRow(row...)
+		}
 	}
 	t.Notes = append(t.Notes,
 		"paper: 0.04% overhead for the proposed mechanism vs 4.87% for online exhaustive",

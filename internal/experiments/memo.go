@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"memthrottle/internal/core"
+	"memthrottle/internal/simsched"
+	"memthrottle/internal/stream"
+)
+
+// baselineKey identifies one conventional-schedule (MTL = n) trimmed
+// measurement. The program is identified structurally — name plus
+// per-phase shape — rather than by pointer, because the workload
+// library rebuilds identical programs for every figure; the config is
+// the flat simsched.Config value with the seed normalised away
+// (runTrimmed overrides it per repetition).
+type baselineKey struct {
+	prog string
+	cfg  simsched.Config
+	reps int
+	keep int
+}
+
+// progFingerprint summarises a program's full structure. Phases built
+// by stream.Build carry identical pairs, so the first pair of each
+// phase determines the rest.
+func progFingerprint(p *stream.Program) string {
+	var b strings.Builder
+	b.WriteString(p.Name)
+	for _, ph := range p.Phases {
+		pr := ph.Pairs[0]
+		fmt.Fprintf(&b, "|%s:%d:%g:%g", ph.Name, len(ph.Pairs), pr.Gather.Bytes, float64(pr.Compute.Work))
+		if pr.Scatter != nil {
+			fmt.Fprintf(&b, ":s%g", pr.Scatter.Bytes)
+		}
+	}
+	return b.String()
+}
+
+// baselineEntry is a singleflight slot: the first requester runs the
+// baseline, concurrent requesters block on once and share the result.
+type baselineEntry struct {
+	once sync.Once
+	t    float64
+	rep  simsched.Result
+}
+
+// baselineMemo caches conventional-schedule trimmed means per
+// (program, config) so Speedup, OfflineBest and every figure that
+// compares against MTL = n compute each baseline exactly once. The
+// cached values are deterministic (seeded runs), so memoisation never
+// changes a reported number — it only removes repeated work.
+type baselineMemo struct {
+	mu     sync.Mutex
+	m      map[baselineKey]*baselineEntry
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newBaselineMemo() *baselineMemo {
+	return &baselineMemo{m: make(map[baselineKey]*baselineEntry)}
+}
+
+// Baseline returns the trimmed-mean total time and representative
+// result of the conventional MTL = n schedule for prog on cfg,
+// computing it at most once per (program, config, methodology).
+// Callers must treat the returned Result as read-only: it is shared.
+func (e Env) Baseline(prog *stream.Program, cfg simsched.Config) (float64, simsched.Result) {
+	n := cfg.Machine.HardwareThreads()
+	mk := func() core.Throttler { return core.Fixed{K: n} }
+	if e.memo == nil { // zero-value Env: fall back to an uncached run
+		return e.runTrimmed(prog, cfg, mk)
+	}
+	key := baselineKey{prog: progFingerprint(prog), cfg: cfg, reps: e.Reps, keep: e.Keep}
+	key.cfg.Seed = 0
+	e.memo.mu.Lock()
+	ent := e.memo.m[key]
+	if ent == nil {
+		ent = &baselineEntry{}
+		e.memo.m[key] = ent
+		e.memo.misses.Add(1)
+	} else {
+		e.memo.hits.Add(1)
+	}
+	e.memo.mu.Unlock()
+	ent.once.Do(func() {
+		ent.t, ent.rep = e.runTrimmed(prog, cfg, mk)
+	})
+	return ent.t, ent.rep
+}
+
+// BaselineStats reports (hits, misses) of the baseline memo, for
+// tests and CLI diagnostics.
+func (e Env) BaselineStats() (hits, misses uint64) {
+	if e.memo == nil {
+		return 0, 0
+	}
+	return e.memo.hits.Load(), e.memo.misses.Load()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memthrottle/internal/core"
+	"memthrottle/internal/parallel"
 )
 
 // NoiseSensitivity (N1) quantifies a reproduction finding: the
@@ -24,7 +25,9 @@ func NoiseSensitivity(e Env) Table {
 			"dynamic speedup", "baseline Tm@MTL4 / Tm1"},
 	}
 	prog := e.Lib().Streamcluster(128)
-	for _, sigma := range []float64{0, 0.003, 0.01, 0.03} {
+	sigmas := []float64{0, 0.003, 0.01, 0.03}
+	rows := parallel.Map(e.jobs(), len(sigmas), func(i int) []string {
+		sigma := sigmas[i]
 		cfg := e.Cfg()
 		cfg.NoiseSigma = sigma
 		model := Model(cfg)
@@ -32,13 +35,17 @@ func NoiseSensitivity(e Env) Table {
 		dynS, _ := e.Speedup(prog, cfg, func() core.Throttler { return core.NewDynamic(model, e.W) })
 
 		// Observed contention of the unthrottled baseline: how much
-		// the convoys actually inflate memory-task time.
-		_, rep := e.runTrimmed(prog, cfg, func() core.Throttler { return core.Fixed{K: 4} })
+		// the convoys actually inflate memory-task time. The MTL=4
+		// run is the conventional baseline, served from the memo.
+		_, rep := e.Baseline(prog, cfg)
 		_, rep1 := e.runTrimmed(prog, cfg, func() core.Throttler { return core.Fixed{K: 1} })
 		ratio := float64(rep.MeanTm[4]) / float64(rep1.MeanTm[1])
 
-		t.AddRow(fmt.Sprintf("%.3f", sigma), f3(offS), fmt.Sprintf("%d", offK),
-			f3(dynS), f2(ratio))
+		return []string{fmt.Sprintf("%.3f", sigma), f3(offS), fmt.Sprintf("%d", offK),
+			f3(dynS), f2(ratio)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"equal-task convoys keep the unthrottled baseline at high memory concurrency; jitter dissolves them",

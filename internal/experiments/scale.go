@@ -6,6 +6,7 @@ import (
 	"memthrottle/internal/core"
 	"memthrottle/internal/machine"
 	"memthrottle/internal/mem"
+	"memthrottle/internal/parallel"
 	"memthrottle/internal/simsched"
 	"memthrottle/internal/workload"
 )
@@ -33,20 +34,33 @@ func Power7Scale(e Env) Table {
 	// cost this mechanism exists to avoid.
 	candidates := []int{1, 2, 4, 8, 16, 24, n}
 
-	for _, prog := range realWorkloads(e.Lib()) {
+	progs := realWorkloads(e.Lib())
+	rows := parallel.Map(e.jobs(), len(progs), func(i int) []string {
+		prog := progs[i]
 		w := bestW(prog, e.W)
-		base, _ := e.runTrimmed(prog, cfg, func() core.Throttler { return core.Fixed{K: n} })
-		bestK, bestT := 0, 0.0
-		for _, k := range candidates {
-			k := k
+		base, _ := e.Baseline(prog, cfg)
+		// The sampled static probes are one parallel batch; k = n is
+		// the conventional baseline and comes from the memo.
+		probes := parallel.Map(e.jobs(), len(candidates), func(j int) float64 {
+			k := candidates[j]
+			if k == n {
+				return base
+			}
 			tt, _ := e.runTrimmed(prog, cfg, func() core.Throttler { return core.Fixed{K: k} })
-			if bestK == 0 || tt < bestT {
+			return tt
+		})
+		bestK, bestT := 0, 0.0
+		for j, k := range candidates {
+			if tt := probes[j]; bestK == 0 || tt < bestT {
 				bestK, bestT = k, tt
 			}
 		}
 		dynT, rep := e.runTrimmed(prog, cfg, func() core.Throttler { return core.NewDynamic(model, w) })
-		t.AddRow(prog.Name, f3(base/dynT), mtlHistory(rep),
-			fmt.Sprintf("%d", rep.TotalProbes), f3(base/bestT), fmt.Sprintf("%d", bestK))
+		return []string{prog.Name, f3(base / dynT), mtlHistory(rep),
+			fmt.Sprintf("%d", rep.TotalProbes), f3(base / bestT), fmt.Sprintf("%d", bestK)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"future work from §VIII; no paper reference numbers exist",
@@ -75,14 +89,23 @@ func ControllerAblation(e Env) Table {
 		Title:   "DRAM scheduling ablation: emergent contention law vs hit-streak cap",
 		Columns: []string{"policy", "Tm1 (us)", "Tm4 (us)", "Tm4/Tm1", "fit R2"},
 	}
-	for _, cap := range []int{1, 4, 16} {
+	caps := []int{1, 4, 16}
+	type capResult struct {
+		cal mem.Calibration
+		err error
+	}
+	results := parallel.Map(e.jobs(), len(caps), func(i int) capResult {
 		cfg := mem.DDR3_1066()
-		cfg.HitStreakCap = cap
-		cal, err := mem.Calibrate(cfg, 4, 6, workload.Footprint)
-		if err != nil {
-			t.Notes = append(t.Notes, fmt.Sprintf("cap %d failed: %v", cap, err))
+		cfg.HitStreakCap = caps[i]
+		cal, err := mem.CalibrateCached(cfg, 4, 6, workload.Footprint)
+		return capResult{cal, err}
+	})
+	for i, cap := range caps {
+		if results[i].err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("cap %d failed: %v", cap, results[i].err))
 			continue
 		}
+		cal := results[i].cal
 		name := fmt.Sprintf("FR-FCFS cap=%d", cap)
 		if cap == 1 {
 			name = "FCFS (cap=1)"

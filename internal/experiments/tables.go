@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memthrottle/internal/core"
+	"memthrottle/internal/parallel"
 	"memthrottle/internal/simsched"
 	"memthrottle/internal/stream"
 	"memthrottle/internal/workload"
@@ -28,14 +29,17 @@ func Table2(e Env) Table {
 		Columns: []string{"workload", "paper Tm1/Tc", "measured Tm1/Tc", "pairs"},
 	}
 	lib := e.Lib()
-	add := func(prog *stream.Program, name string) {
-		paper, _ := workload.TableIIRatio(name)
-		t.AddRow(name, pct(paper), pct(e.ratioAtMTL1(prog)), fmt.Sprintf("%d", prog.TotalPairs()))
-	}
-	add(lib.DFT(), "dft")
+	progs := []*stream.Program{lib.DFT()}
 	for _, dim := range workload.StreamclusterDims {
-		prog := lib.Streamcluster(dim)
-		add(prog, prog.Name)
+		progs = append(progs, lib.Streamcluster(dim))
+	}
+	rows := parallel.Map(e.jobs(), len(progs), func(i int) []string {
+		prog := progs[i]
+		paper, _ := workload.TableIIRatio(prog.Name)
+		return []string{prog.Name, pct(paper), pct(e.ratioAtMTL1(prog)), fmt.Sprintf("%d", prog.TotalPairs())}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "measured on the simulator at MTL=1; paper values from Table II")
 	return t
@@ -49,8 +53,12 @@ func Table3(e Env) Table {
 		Columns: []string{"function", "paper Tm1/Tc", "measured Tm1/Tc"},
 	}
 	lib := e.Lib()
-	for _, f := range workload.SIFTFunctions {
-		t.AddRow(f.Name, pct(f.Ratio), pct(e.ratioAtMTL1(lib.SIFTPhase(f.Name))))
+	rows := parallel.Map(e.jobs(), len(workload.SIFTFunctions), func(i int) []string {
+		f := workload.SIFTFunctions[i]
+		return []string{f.Name, pct(f.Ratio), pct(e.ratioAtMTL1(lib.SIFTPhase(f.Name)))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }

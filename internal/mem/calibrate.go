@@ -2,7 +2,10 @@ package mem
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
+	"memthrottle/internal/parallel"
 	"memthrottle/internal/sim"
 	"memthrottle/internal/stats"
 )
@@ -91,20 +94,34 @@ func (c Calibration) PerByte() (tml, tql float64) {
 // fits the linear contention law. footprint is the per-task transfer
 // size in bytes (the paper keeps it below the per-core LLC share, e.g.
 // 0.5–2 MB); tasksPerStream controls measurement length.
+//
+// The per-k measurements run on independent simulation engines, so
+// they fan out across the process's parallel worker budget; results
+// are assembled in k order and the fit is identical to a serial
+// calibration.
 func Calibrate(cfg Config, maxK, tasksPerStream, footprint int) (Calibration, error) {
 	if maxK < 2 {
 		return Calibration{}, fmt.Errorf("mem: Calibrate needs maxK >= 2 to fit a line, got %d", maxK)
 	}
+	calibrateRuns.Add(1)
 	cal := Calibration{Tasklet: footprint}
+	type outcome struct {
+		tm  sim.Time
+		err error
+	}
+	measured := parallel.Map(0, maxK, func(i int) outcome {
+		tm, err := MeasureTaskTime(cfg, i+1, tasksPerStream, footprint)
+		return outcome{tm, err}
+	})
 	var xs, ys []float64
 	for k := 1; k <= maxK; k++ {
-		tm, err := MeasureTaskTime(cfg, k, tasksPerStream, footprint)
-		if err != nil {
-			return Calibration{}, err
+		o := measured[k-1]
+		if o.err != nil {
+			return Calibration{}, o.err
 		}
-		cal.Tm = append(cal.Tm, tm)
+		cal.Tm = append(cal.Tm, o.tm)
 		xs = append(xs, float64(k))
-		ys = append(ys, float64(tm))
+		ys = append(ys, float64(o.tm))
 	}
 	fit, err := stats.FitLine(xs, ys)
 	if err != nil {
@@ -113,5 +130,62 @@ func Calibrate(cfg Config, maxK, tasksPerStream, footprint int) (Calibration, er
 	cal.Tml = sim.Time(fit.Intercept)
 	cal.Tql = sim.Time(fit.Slope)
 	cal.R2 = fit.R2
+	return cal, nil
+}
+
+// calibrateRuns counts full (non-cached) Calibrate executions; tests
+// use it to assert the cache actually deduplicates work.
+var calibrateRuns atomic.Uint64
+
+// CalibrateRuns reports how many times Calibrate has executed a full
+// measurement sweep in this process (cache hits excluded).
+func CalibrateRuns() uint64 { return calibrateRuns.Load() }
+
+// calKey identifies one calibration request. Config is a flat value
+// type, so the whole argument tuple is comparable.
+type calKey struct {
+	cfg            Config
+	maxK           int
+	tasksPerStream int
+	footprint      int
+}
+
+// calEntry is a singleflight slot: the first requester computes, every
+// later requester waits on once and reads the shared result.
+type calEntry struct {
+	once sync.Once
+	cal  Calibration
+	err  error
+}
+
+var (
+	calCacheMu sync.Mutex
+	calCache   = map[calKey]*calEntry{}
+)
+
+// CalibrateCached is Calibrate behind a process-wide cache keyed by
+// the full argument tuple. Calibration is deterministic in its inputs
+// (every RNG inside is seeded from cfg.Seed), so each DRAM
+// configuration needs to be measured exactly once per process no
+// matter how many environments, tests, or CLI entry points request
+// it. Concurrent requests for the same key share one measurement.
+func CalibrateCached(cfg Config, maxK, tasksPerStream, footprint int) (Calibration, error) {
+	key := calKey{cfg, maxK, tasksPerStream, footprint}
+	calCacheMu.Lock()
+	e := calCache[key]
+	if e == nil {
+		e = &calEntry{}
+		calCache[key] = e
+	}
+	calCacheMu.Unlock()
+	e.once.Do(func() {
+		e.cal, e.err = Calibrate(cfg, maxK, tasksPerStream, footprint)
+	})
+	if e.err != nil {
+		return Calibration{}, e.err
+	}
+	// Copy the Tm slice so callers cannot corrupt the cached entry.
+	cal := e.cal
+	cal.Tm = append([]sim.Time(nil), e.cal.Tm...)
 	return cal, nil
 }

@@ -1,0 +1,142 @@
+// Package parallel is the run engine behind the experiment harness: a
+// bounded worker pool that fans independent jobs out across OS threads
+// and reassembles their results in submission order. Because every
+// simulation runs on its own virtual clock, host scheduling cannot
+// perturb a measurement — parallel execution is byte-identical to
+// serial execution as long as each job is deterministic in its index,
+// which this package guarantees by storing result i at slot i
+// regardless of completion order.
+//
+// Jobs are drawn from a shared atomic counter (a degenerate
+// work-stealing deque: one global tail), so a slow job never blocks
+// the workers from draining the rest of the batch.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide fallback worker count; 0 means
+// "resolve to GOMAXPROCS at use time".
+var defaultWorkers atomic.Int64
+
+// SetDefault sets the process-wide default worker count used when a
+// call site passes workers <= 0. n <= 0 restores the GOMAXPROCS
+// fallback. CLI -j flags funnel through here.
+func SetDefault(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Default reports the current process-wide default worker count.
+func Default() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers resolves a requested worker count: n >= 1 is taken as-is,
+// anything else falls back to Default().
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return Default()
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 resolves via Workers) and returns the results in index
+// order. A panic in any job is re-raised on the calling goroutine
+// after the pool drains; jobs not yet started when a panic occurs are
+// skipped.
+func Map[T any](workers, n int, fn func(int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if !panicked.Load() {
+								panicVal = r
+								panicked.Store(true)
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+	return out
+}
+
+// Batch collects heterogeneous jobs and runs them as one bounded
+// fan-out, returning results in submission order. It exists for call
+// sites that discover their jobs incrementally (grid sweeps, per-MTL
+// probes) rather than from a pre-sized slice.
+type Batch[T any] struct {
+	workers int
+	jobs    []func() T
+}
+
+// NewBatch returns an empty batch that will run on at most workers
+// goroutines (workers <= 0 resolves via Workers at Wait time).
+func NewBatch[T any](workers int) *Batch[T] {
+	return &Batch[T]{workers: workers}
+}
+
+// Submit enqueues one job and returns its result index.
+func (b *Batch[T]) Submit(fn func() T) int {
+	b.jobs = append(b.jobs, fn)
+	return len(b.jobs) - 1
+}
+
+// Len reports the number of submitted jobs.
+func (b *Batch[T]) Len() int { return len(b.jobs) }
+
+// Wait executes every submitted job and returns the results in
+// submission order. The batch is drained: a subsequent Submit/Wait
+// cycle starts a fresh batch.
+func (b *Batch[T]) Wait() []T {
+	jobs := b.jobs
+	b.jobs = nil
+	return Map(b.workers, len(jobs), func(i int) T { return jobs[i]() })
+}

@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapSubmissionOrderUnderSkew induces heavy per-worker skew (early
+// jobs sleep longest) and checks that results still land in submission
+// order — the determinism guarantee the experiment layer builds on.
+func TestMapSubmissionOrderUnderSkew(t *testing.T) {
+	const n = 32
+	out := Map(4, n, func(i int) int {
+		// Earlier jobs are slower, so completion order inverts
+		// submission order within each worker's stride.
+		time.Sleep(time.Duration(n-i) * 500 * time.Microsecond)
+		return i * i
+	})
+	if len(out) != n {
+		t.Fatalf("len = %d, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	Map(workers, 64, func(i int) struct{} {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+func TestMapSerialWhenOneWorker(t *testing.T) {
+	var order []int
+	Map(1, 8, func(i int) struct{} {
+		order = append(order, i) // safe: single worker runs inline
+		return struct{}{}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution out of order: %v", order)
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic not propagated")
+		}
+		if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("panic value = %v, want boom", r)
+		}
+	}()
+	Map(4, 16, func(i int) int {
+		if i == 5 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); out != nil {
+		t.Errorf("Map of 0 jobs = %v, want nil", out)
+	}
+}
+
+func TestBatchSubmissionOrder(t *testing.T) {
+	b := NewBatch[string](4)
+	if got := b.Submit(func() string { time.Sleep(2 * time.Millisecond); return "a" }); got != 0 {
+		t.Fatalf("first index = %d", got)
+	}
+	b.Submit(func() string { time.Sleep(time.Millisecond); return "b" })
+	b.Submit(func() string { return "c" })
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	got := b.Wait()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Wait() = %v, want %v", got, want)
+		}
+	}
+	if b.Len() != 0 {
+		t.Error("batch not drained by Wait")
+	}
+	if out := b.Wait(); len(out) != 0 {
+		t.Errorf("second Wait = %v, want empty", out)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+	SetDefault(0)
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefault(2)
+	if got := Workers(0); got != 2 {
+		t.Errorf("Workers(0) with default 2 = %d", got)
+	}
+	if got := Workers(-3); got != 2 {
+		t.Errorf("Workers(-3) with default 2 = %d", got)
+	}
+	SetDefault(0)
+}

@@ -41,6 +41,14 @@ func (t Time) String() string {
 
 // Event is a scheduled callback. The callback runs with the engine
 // clock set to the event's due time.
+//
+// Lifetime: an Event handle is valid only until the event fires or is
+// cancelled — afterwards the engine recycles it for a future At/After
+// call, so holders must drop their reference once it is dead (every
+// holder in this repository clears its reference when rescheduling or
+// when the callback runs). Cancelling an event that already fired or
+// was already cancelled remains a no-op as long as the handle has not
+// been reused.
 type Event struct {
 	due    Time
 	seq    uint64
@@ -61,6 +69,7 @@ func (e *Event) Cancel() {
 	}
 	heap.Remove(&e.engine.queue, e.index)
 	e.dead = true
+	e.engine.recycle(e)
 }
 
 type eventQueue []*Event
@@ -98,6 +107,11 @@ type Engine struct {
 	seq     uint64
 	queue   eventQueue
 	stopped bool
+
+	// free recycles fired/cancelled events: the simulation hot path
+	// schedules and retires millions of events per run, and reusing
+	// them keeps Step allocation-free (see BenchmarkEngineStep).
+	free []*Event
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -106,13 +120,29 @@ func New() *Engine { return &Engine{} }
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// recycle returns a dead event to the free list. The closure is
+// dropped immediately so its captures can be collected even while the
+// event shell waits for reuse.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it would silently corrupt causality.
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
-	ev := &Event{due: t, seq: e.seq, fn: fn, engine: e}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{due: t, seq: e.seq, fn: fn, engine: e}
+	} else {
+		ev = &Event{due: t, seq: e.seq, fn: fn, engine: e}
+	}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -142,6 +172,11 @@ func (e *Engine) Step() bool {
 	ev.dead = true
 	e.now = ev.due
 	ev.fn()
+	// Recycle only after the callback returns: code running inside it
+	// (the Cancel-then-reschedule pattern in contend and machine) may
+	// still hold this handle, and a reuse before those references are
+	// dropped would let a stale Cancel kill an unrelated event.
+	e.recycle(ev)
 	return true
 }
 

@@ -183,6 +183,71 @@ func TestEngineMonotonicProperty(t *testing.T) {
 	}
 }
 
+// TestEventRecycling pins the free-list contract: a fired or cancelled
+// event's shell is reused by the next At/After, and a stale Cancel on a
+// dead-but-not-yet-reused handle stays a no-op.
+func TestEventRecycling(t *testing.T) {
+	e := New()
+	fired := e.After(Microsecond, func() {})
+	e.Run()
+	fired.Cancel() // stale cancel on a dead handle: must be a no-op
+	reused := e.After(Microsecond, func() {})
+	if reused != fired {
+		t.Error("fired event shell was not reused by the next After")
+	}
+
+	cancelled := e.After(5*Microsecond, func() {})
+	cancelled.Cancel()
+	if again := e.After(Microsecond, func() {}); again != cancelled {
+		t.Error("cancelled event shell was not reused by the next After")
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+// TestEventRecyclingRescheduleLoop exercises the pattern contend and
+// machine rely on: each callback cancels a (possibly dead) companion
+// event and schedules a replacement. A steady-state loop must keep
+// firing in order with the free list churning shells underneath.
+func TestEventRecyclingRescheduleLoop(t *testing.T) {
+	e := New()
+	var companion *Event
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		companion.Cancel() // already fired and recycled: must be a no-op
+		if count < 100 {
+			companion = e.After(Microsecond/2, func() {})
+			e.After(Microsecond, step)
+		}
+	}
+	companion = e.After(Microsecond/2, func() {})
+	e.After(Microsecond, step)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+}
+
+// BenchmarkEngineStep measures the steady-state schedule/fire cycle the
+// simulation hot path consists of. With the event free list the loop
+// runs allocation-free: the sole pending event's shell ping-pongs
+// between the queue and the free list.
+func BenchmarkEngineStep(b *testing.B) {
+	e := New()
+	var fn func()
+	fn = func() { e.After(Nanosecond, fn) }
+	e.After(Nanosecond, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
 func TestTimeString(t *testing.T) {
 	if got := (2500 * Nanosecond).String(); got != "2.500us" {
 		t.Errorf("String() = %q, want 2.500us", got)

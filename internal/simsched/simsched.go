@@ -9,6 +9,7 @@ package simsched
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"memthrottle/internal/cache"
 	"memthrottle/internal/contend"
@@ -165,11 +166,22 @@ type worker struct {
 	idle bool
 }
 
+// runCount counts Run invocations process-wide. The experiment
+// layer's caches are judged by how many simulations they avoid, so
+// the count is exported for regression tests and CLI reporting.
+var runCount atomic.Uint64
+
+// RunCount reports the number of Run invocations so far in this
+// process.
+func RunCount() uint64 { return runCount.Load() }
+
 // Run executes prog under the given throttler and returns the result.
 // The throttler must be freshly constructed per run (it accumulates
-// state). Panics on invalid configuration or program: both are
-// programmer-supplied.
+// state). Each call builds a private engine, machine, memory pool and
+// RNG, so independent runs may execute concurrently. Panics on
+// invalid configuration or program: both are programmer-supplied.
 func Run(prog *stream.Program, cfg Config, th core.Throttler) Result {
+	runCount.Add(1)
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}

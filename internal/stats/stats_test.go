@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -35,6 +36,40 @@ func TestTrimmedMeanRejectsOutliers(t *testing.T) {
 func TestTrimmedMeanKeepAtLeastLen(t *testing.T) {
 	xs := []float64{1, 2, 3}
 	approx(t, TrimmedMean(xs, 10), 2, 1e-12, "TrimmedMean keep>len")
+}
+
+// Property: TrimmedMean is invariant under any permutation of its
+// input and never mutates it. The parallel run engine relies on this:
+// per-rep times may be produced by workers in any completion order
+// before assembly, and the trimmed mean must not care.
+func TestTrimmedMeanPermutationInvariant(t *testing.T) {
+	prop := func(raw []uint16, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		keep := len(xs)/2 + 1
+		want := TrimmedMean(xs, keep)
+		perm := append([]float64(nil), xs...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		backup := append([]float64(nil), perm...)
+		if got := TrimmedMean(perm, keep); got != want {
+			return false
+		}
+		for i := range perm {
+			if perm[i] != backup[i] {
+				return false // input mutated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestTrimmedMeanPanicsOnZeroKeep(t *testing.T) {
