@@ -58,7 +58,11 @@ func runSpec(b *testing.B, id string) experiments.Table {
 	return tab
 }
 
-func BenchmarkCalibrateDRAM(b *testing.B) {
+// BenchmarkCalibrate is the end-to-end calibration run: 4 concurrent
+// stream levels measured on fresh engines and fitted to the contention
+// law. It is the headline wall-clock number for the simulator hot path
+// (see BENCH_SIM.json and `make bench`).
+func BenchmarkCalibrate(b *testing.B) {
 	var cal mem.Calibration
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -230,6 +234,7 @@ func BenchmarkPower7Scaling(b *testing.B) {
 func BenchmarkDRAMAccess(b *testing.B) {
 	eng := sim.New()
 	sys := mem.NewSystem(eng, mem.DDR3_1066())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Access(uint64(i*64), nil)
@@ -237,6 +242,18 @@ func BenchmarkDRAMAccess(b *testing.B) {
 			eng.RunUntil(eng.Now() + sim.Millisecond)
 		}
 	}
+	eng.Run()
+}
+
+// BenchmarkStreamPump drives one closed-loop stream (MaxOutstanding
+// lines in flight, jittered think time) through the request-level DRAM
+// model — the inner loop of every calibration measurement.
+func BenchmarkStreamPump(b *testing.B) {
+	eng := sim.New()
+	sys := mem.NewSystem(eng, mem.DDR3_1066())
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.StartStream(0, b.N, nil)
 	eng.Run()
 }
 

@@ -1,0 +1,176 @@
+// Command benchdiff compares `go test -bench` output against a
+// committed baseline so hot-path speedups are pinned by CI-checkable
+// numbers instead of asserted in prose.
+//
+// It reads benchmark output on stdin, aggregates repeated runs of the
+// same benchmark (use -count N; the best run is kept, the standard way
+// to suppress scheduler noise), and either:
+//
+//	benchdiff -baseline BENCH_SIM.json           # print deltas vs baseline
+//	benchdiff -baseline BENCH_SIM.json -write    # rewrite the baseline
+//
+// `make bench` wires this up for the simulator hot-path benchmarks.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// metrics is one benchmark's aggregated numbers.
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// baseline is the committed BENCH_SIM.json shape.
+type baseline struct {
+	Generated  string             `json:"generated"`
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]metrics `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		baselinePath = flag.String("baseline", "BENCH_SIM.json", "baseline JSON file")
+		write        = flag.Bool("write", false, "rewrite the baseline from stdin instead of comparing")
+		note         = flag.String("note", "", "note to store when writing the baseline")
+	)
+	flag.Parse()
+
+	current, err := parseBench(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(current) == 0 {
+		log.Fatal("no benchmark lines on stdin (pipe `go test -bench ... -benchmem` into me)")
+	}
+
+	if *write {
+		b := baseline{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			Note:       *note,
+			Benchmarks: current,
+		}
+		out, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatalf("read baseline (run with -write to create): %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("parse baseline %s: %v", *baselinePath, err)
+	}
+
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-24s %14s %14s %9s %16s %16s\n",
+		"benchmark", "base ns/op", "now ns/op", "speedup", "base allocs/op", "now allocs/op")
+	for _, name := range names {
+		cur := current[name]
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-24s %14s %14.1f %9s %16s %16.0f  (no baseline)\n",
+				name, "-", cur.NsPerOp, "-", "-", cur.AllocsPerOp)
+			continue
+		}
+		fmt.Printf("%-24s %14.1f %14.1f %8.2fx %16.0f %16.0f\n",
+			name, b.NsPerOp, cur.NsPerOp, b.NsPerOp/cur.NsPerOp, b.AllocsPerOp, cur.AllocsPerOp)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := current[name]; !ok {
+			fmt.Printf("%-24s missing from this run (baseline has it)\n", name)
+		}
+	}
+	if base.Generated != "" {
+		fmt.Printf("baseline: %s (%s)\n", *baselinePath, base.Generated)
+	}
+	if base.Note != "" {
+		fmt.Printf("note: %s\n", base.Note)
+	}
+}
+
+// parseBench extracts per-benchmark metrics from `go test -bench`
+// output. Repeated runs of one benchmark (-count) keep the fastest
+// ns/op; B/op and allocs/op are deterministic and keep the minimum
+// too.
+func parseBench(r *os.File) (map[string]metrics, error) {
+	out := map[string]metrics{}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix: BenchmarkFoo-8 -> BenchmarkFoo.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var m metrics
+		ok := false
+		// fields[1] is the iteration count; the rest come in
+		// (value, unit) pairs, including custom ReportMetric units.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q on line %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+				ok = true
+			case "B/op":
+				m.BPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if !ok {
+			continue
+		}
+		if prev, dup := out[name]; dup && seen[name] {
+			if prev.NsPerOp < m.NsPerOp {
+				m.NsPerOp = prev.NsPerOp
+			}
+			if prev.BPerOp < m.BPerOp {
+				m.BPerOp = prev.BPerOp
+			}
+			if prev.AllocsPerOp < m.AllocsPerOp {
+				m.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[name] = m
+		seen[name] = true
+	}
+	return out, sc.Err()
+}

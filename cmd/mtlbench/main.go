@@ -9,6 +9,7 @@
 //	mtlbench -fig F14             # one artifact
 //	mtlbench -fig F13a -step 0.02 # denser Fig. 13 sweep
 //	mtlbench -all -quick -timings BENCH_baseline.json
+//	mtlbench -fig F14 -quick -cpuprofile cpu.out -memprofile mem.out
 //	mtlbench -list
 package main
 
@@ -23,6 +24,7 @@ import (
 
 	"memthrottle/internal/experiments"
 	"memthrottle/internal/parallel"
+	"memthrottle/internal/prof"
 )
 
 // timingSnapshot is the -timings JSON shape: per-experiment wall-clock
@@ -40,32 +42,61 @@ type timingSnapshot struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mtlbench: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the real main. It returns instead of calling log.Fatal so the
+// deferred profile stop flushes on every exit path — a failed -fig
+// lookup or render error must still produce a valid profile file.
+func run() error {
 	var (
-		all     = flag.Bool("all", false, "run every experiment")
-		fig     = flag.String("fig", "", "run one experiment by ID (e.g. F14)")
-		list    = flag.Bool("list", false, "list experiment IDs")
-		quick   = flag.Bool("quick", false, "3 repetitions instead of the paper's 20")
-		step    = flag.Float64("step", 0, "override the Fig. 13 ratio step (paper: 0.01)")
-		format  = flag.String("format", "text", "output format: text | csv | json")
-		jobs    = flag.Int("j", 0, "worker goroutines for independent runs (0 = GOMAXPROCS)")
-		timings = flag.String("timings", "", "write a per-experiment wall-clock snapshot to this JSON file")
+		all        = flag.Bool("all", false, "run every experiment")
+		fig        = flag.String("fig", "", "run one experiment by ID (e.g. F14)")
+		list       = flag.Bool("list", false, "list experiment IDs")
+		quick      = flag.Bool("quick", false, "3 repetitions instead of the paper's 20")
+		step       = flag.Float64("step", 0, "override the Fig. 13 ratio step (paper: 0.01)")
+		format     = flag.String("format", "text", "output format: text | csv | json")
+		jobs       = flag.Int("j", 0, "worker goroutines for independent runs (default: GOMAXPROCS)")
+		timings    = flag.String("timings", "", "write a per-experiment wall-clock snapshot to this JSON file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file")
 	)
 	flag.Parse()
+	if err := jobsFlagError(*jobs); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, s := range experiments.Catalog() {
 			fmt.Printf("%-5s %s\n", s.ID, s.Desc)
 		}
-		return
+		return nil
 	}
 	if !*all && *fig == "" {
-		log.Fatal("nothing to do: pass -all, -fig ID, or -list")
+		return fmt.Errorf("nothing to do: pass -all, -fig ID, or -list")
 	}
+
+	// Profiles start before any lookup or calibration so the hot path
+	// is in frame; Start fails fast on an unwritable path, and the
+	// deferred Stop flushes valid profile files even when the run
+	// errors out below (unknown -fig, render failure, ...).
+	session, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := session.Stop(); err != nil {
+			log.Print(err)
+		}
+	}()
+
 	var only experiments.Spec
 	if *fig != "" {
 		var ok bool
 		if only, ok = experiments.Find(*fig); !ok {
-			log.Fatalf("unknown experiment %q; try -list", *fig)
+			return fmt.Errorf("unknown experiment %q; try -list", *fig)
 		}
 	}
 
@@ -73,7 +104,7 @@ func main() {
 	t0 := time.Now()
 	env, err := experiments.DefaultEnv(*quick)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	env = env.WithWorkers(*jobs)
 	calSec := time.Since(t0).Seconds()
@@ -83,7 +114,7 @@ func main() {
 		parallel.Workers(*jobs))
 
 	elapsed := make(map[string]float64)
-	run := func(s experiments.Spec) {
+	runOne := func(s experiments.Spec) error {
 		t1 := time.Now()
 		var tab experiments.Table
 		if *step > 0 {
@@ -104,17 +135,20 @@ func main() {
 		elapsed[s.ID] = tab.Elapsed
 		out, err := tab.Render(*format)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(out)
+		return nil
 	}
 
 	if *all {
 		for _, s := range experiments.Catalog() {
-			run(s)
+			if err := runOne(s); err != nil {
+				return err
+			}
 		}
-	} else {
-		run(only)
+	} else if err := runOne(only); err != nil {
+		return err
 	}
 
 	if *timings != "" {
@@ -129,11 +163,29 @@ func main() {
 		}
 		b, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*timings, append(b, '\n'), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("wrote timing snapshot to %s\n", *timings)
 	}
+	return nil
+}
+
+// jobsFlagError rejects an explicitly-passed nonsensical worker count.
+// The default (flag not set) resolves to GOMAXPROCS; an explicit
+// "-j 0" or negative value is a user error, not a request for the
+// fallback.
+func jobsFlagError(jobs int) error {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "j" {
+			set = true
+		}
+	})
+	if set && jobs < 1 {
+		return fmt.Errorf("-j %d: worker count must be >= 1", jobs)
+	}
+	return nil
 }

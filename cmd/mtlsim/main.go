@@ -9,6 +9,7 @@
 //	mtlsim -workload sc -dim 36 -policy static -mtl 2
 //	mtlsim -workload dft -policy conventional -gantt
 //	mtlsim -workload synthetic -ratio 1.5 -cores 8 -smt 4   (POWER7-style)
+//	mtlsim -workload dft -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"memthrottle/internal/machine"
 	"memthrottle/internal/mem"
 	"memthrottle/internal/parallel"
+	"memthrottle/internal/prof"
 	"memthrottle/internal/simsched"
 	"memthrottle/internal/stream"
 	"memthrottle/internal/workload"
@@ -29,27 +31,50 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mtlsim: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run returns instead of calling log.Fatal so the deferred profile
+// stop flushes on every exit path.
+func run() error {
 	var (
-		wl       = flag.String("workload", "synthetic", "workload: synthetic | dft | sc | sift")
-		ratio    = flag.Float64("ratio", 0.5, "synthetic Tm1/Tc ratio")
-		pairs    = flag.Int("pairs", 96, "synthetic task-pair count")
-		dim      = flag.Int("dim", 128, "streamcluster input dimension")
-		policy   = flag.String("policy", "dynamic", "policy: conventional | static | dynamic | online")
-		mtl      = flag.Int("mtl", 1, "MTL for the static policy")
-		w        = flag.Int("w", 16, "monitor window for adaptive policies")
-		cores    = flag.Int("cores", 4, "physical cores")
-		smt      = flag.Int("smt", 1, "hardware threads per core")
-		channels = flag.Int("channels", 1, "memory channels")
-		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart")
-		seed     = flag.Int64("seed", 1, "noise seed")
-		jobs     = flag.Int("j", 0, "worker goroutines for independent runs (0 = GOMAXPROCS)")
+		wl         = flag.String("workload", "synthetic", "workload: synthetic | dft | sc | sift")
+		ratio      = flag.Float64("ratio", 0.5, "synthetic Tm1/Tc ratio")
+		pairs      = flag.Int("pairs", 96, "synthetic task-pair count")
+		dim        = flag.Int("dim", 128, "streamcluster input dimension")
+		policy     = flag.String("policy", "dynamic", "policy: conventional | static | dynamic | online")
+		mtl        = flag.Int("mtl", 1, "MTL for the static policy")
+		w          = flag.Int("w", 16, "monitor window for adaptive policies")
+		cores      = flag.Int("cores", 4, "physical cores")
+		smt        = flag.Int("smt", 1, "hardware threads per core")
+		channels   = flag.Int("channels", 1, "memory channels")
+		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		seed       = flag.Int64("seed", 1, "noise seed")
+		jobs       = flag.Int("j", 0, "worker goroutines for independent runs (default: GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file")
 	)
 	flag.Parse()
+	if err := jobsFlagError(*jobs); err != nil {
+		return err
+	}
+
+	session, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := session.Stop(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	parallel.SetDefault(*jobs)
 	cal, err := mem.CalibrateCached(mem.DDR3_1066().WithChannels(*channels), *cores**smt, 6, workload.Footprint)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	params := contend.FromCalibration(cal)
 	lib := workload.NewLibrary(params)
@@ -65,7 +90,7 @@ func main() {
 	case "sift":
 		prog = lib.SIFT()
 	default:
-		log.Fatalf("unknown workload %q", *wl)
+		return fmt.Errorf("unknown workload %q", *wl)
 	}
 
 	cfg := simsched.Default(params)
@@ -75,6 +100,7 @@ func main() {
 	cfg.RecordTrace = *gantt
 	n := cfg.Machine.HardwareThreads()
 
+	var policyErr error
 	mkPolicy := func(name string) core.Throttler {
 		switch name {
 		case "conventional":
@@ -86,9 +112,15 @@ func main() {
 		case "online":
 			return core.NewOnlineExhaustive(core.NewModel(n), *w, 0.10)
 		default:
-			log.Fatalf("unknown policy %q", name)
-			return nil
+			policyErr = fmt.Errorf("unknown policy %q", name)
+			return core.Fixed{K: n}
 		}
+	}
+	// Resolve the policy before fanning out so a typo errors cleanly
+	// (and the profile still flushes) instead of dying inside a worker.
+	mkPolicy(*policy)
+	if policyErr != nil {
+		return policyErr
 	}
 
 	// The policy run and its conventional baseline are independent
@@ -130,4 +162,22 @@ func main() {
 		fmt.Println("\nschedule (M = memory task, C = compute):")
 		fmt.Print(res.Timeline.Gantt(100))
 	}
+	return nil
+}
+
+// jobsFlagError rejects an explicitly-passed nonsensical worker count.
+// The default (flag not set) resolves to GOMAXPROCS; an explicit
+// "-j 0" or negative value is a user error, not a request for the
+// fallback.
+func jobsFlagError(jobs int) error {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "j" {
+			set = true
+		}
+	})
+	if set && jobs < 1 {
+		return fmt.Errorf("-j %d: worker count must be >= 1", jobs)
+	}
+	return nil
 }

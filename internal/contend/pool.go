@@ -15,7 +15,6 @@ package contend
 
 import (
 	"fmt"
-	"sort"
 
 	"memthrottle/internal/mem"
 	"memthrottle/internal/sim"
@@ -57,6 +56,7 @@ type Actor struct {
 	remaining float64 // bytes left to transfer
 	done      func()
 	active    bool
+	idx       int // position in pool.actors; -1 once removed
 }
 
 // Active reports whether the actor is still in flight.
@@ -70,15 +70,21 @@ func (a *Actor) Remaining() float64 {
 }
 
 // Pool tracks the set of active memory actors and advances their
-// progress under the fluid contention law.
+// progress under the fluid contention law. Active actors live in an
+// index-tracked slice (not a map): iteration is deterministic and
+// allocation-free, and removal is an O(1) swap via Actor.idx. The due
+// and firing scratch slices plus the pre-bound fire callback keep the
+// settle/reschedule/fire cycle free of steady-state allocations.
 type Pool struct {
 	eng        *sim.Engine
 	params     Params
-	actors     map[*Actor]struct{}
+	actors     []*Actor // active actors, unordered; Actor.idx tracks slots
 	weight     float64
 	lastSettle sim.Time
 	next       *sim.Event
-	due        []*Actor // actors the pending event will complete
+	due        []*Actor  // actors the pending event will complete
+	firing     []*Actor  // scratch swapped with due while callbacks run
+	fireFn     func(any) // pre-bound fire, so reschedule never allocates
 
 	started   uint64
 	completed uint64
@@ -90,7 +96,21 @@ func NewPool(eng *sim.Engine, params Params) *Pool {
 	if err := params.Validate(); err != nil {
 		panic(err)
 	}
-	return &Pool{eng: eng, params: params, actors: make(map[*Actor]struct{})}
+	p := &Pool{eng: eng, params: params}
+	p.fireFn = p.fire
+	return p
+}
+
+// remove unlinks an actor from the active slice by swapping the last
+// slot into its place.
+func (p *Pool) remove(a *Actor) {
+	last := len(p.actors) - 1
+	moved := p.actors[last]
+	p.actors[a.idx] = moved
+	moved.idx = a.idx
+	p.actors[last] = nil
+	p.actors = p.actors[:last]
+	a.idx = -1
 }
 
 // Params returns the pool's contention coefficients.
@@ -122,7 +142,7 @@ func (p *Pool) settle() {
 		return
 	}
 	progressed := dt / p.perByte()
-	for a := range p.actors {
+	for _, a := range p.actors {
 		a.remaining -= progressed
 		if a.remaining < 0 {
 			a.remaining = 0
@@ -145,28 +165,46 @@ func (p *Pool) reschedule() {
 		return
 	}
 	minRem := -1.0
-	for a := range p.actors {
+	for _, a := range p.actors {
 		if minRem < 0 || a.remaining < minRem {
 			minRem = a.remaining
 		}
 	}
 	const relTol = 1e-12
-	for a := range p.actors {
+	for _, a := range p.actors {
 		if a.remaining <= minRem*(1+relTol) {
 			p.due = append(p.due, a)
 		}
 	}
-	sort.Slice(p.due, func(i, j int) bool { return p.due[i].seq < p.due[j].seq })
+	sortActorsBySeq(p.due)
 	delay := sim.Time(minRem * p.perByte())
-	p.next = p.eng.After(delay, p.fire)
+	p.next = p.eng.AfterFunc(delay, p.fireFn, nil)
+}
+
+// sortActorsBySeq is an insertion sort: the due set is almost always
+// one or two actors, and unlike sort.Slice it needs no closure and no
+// reflection. Sequence numbers are unique, so the order is total.
+func sortActorsBySeq(as []*Actor) {
+	for i := 1; i < len(as); i++ {
+		x := as[i]
+		j := i - 1
+		for j >= 0 && as[j].seq > x.seq {
+			as[j+1] = as[j]
+			j--
+		}
+		as[j+1] = x
+	}
 }
 
 // fire completes the actors the pending event was scheduled for.
-func (p *Pool) fire() {
+func (p *Pool) fire(any) {
 	p.settle()
-	finished := append([]*Actor(nil), p.due...)
-	for _, a := range finished {
-		delete(p.actors, a)
+	// Swap the due set into the firing scratch: reschedule below will
+	// rebuild due, and the callbacks must see the set frozen at
+	// schedule time.
+	p.firing, p.due = p.due, p.firing[:0]
+	for _, a := range p.firing {
+		p.remove(a)
 		p.weight -= a.weight
 		a.active = false
 		a.remaining = 0
@@ -178,7 +216,7 @@ func (p *Pool) fire() {
 	p.reschedule()
 	// Callbacks run after internal state is consistent: they may
 	// start new actors.
-	for _, a := range finished {
+	for _, a := range p.firing {
 		if a.done != nil {
 			a.done()
 		}
@@ -198,8 +236,8 @@ func (p *Pool) Start(footprintBytes, weight float64, done func()) *Actor {
 		panic(fmt.Sprintf("contend: Start with weight %g, want (0, 1]", weight))
 	}
 	p.settle()
-	a := &Actor{pool: p, seq: p.started, weight: weight, remaining: footprintBytes, done: done, active: true}
-	p.actors[a] = struct{}{}
+	a := &Actor{pool: p, seq: p.started, weight: weight, remaining: footprintBytes, done: done, active: true, idx: len(p.actors)}
+	p.actors = append(p.actors, a)
 	p.weight += weight
 	p.started++
 	p.reschedule()
@@ -213,7 +251,7 @@ func (p *Pool) Cancel(a *Actor) {
 		return
 	}
 	p.settle()
-	delete(p.actors, a)
+	p.remove(a)
 	p.weight -= a.weight
 	a.active = false
 	p.reschedule()

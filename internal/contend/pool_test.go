@@ -28,6 +28,24 @@ func approxTime(t *testing.T, got, want sim.Time, relTol float64, what string) {
 	}
 }
 
+// TestPoolSteadyStateZeroAlloc pins the slice-based actor tracking:
+// one full start/fire cycle costs at most the Actor allocation itself —
+// the due/firing scratch, the event shells and the pre-bound fire
+// callback are all reused.
+func TestPoolSteadyStateZeroAlloc(t *testing.T) {
+	eng := sim.New()
+	p := NewPool(eng, testParams())
+	cycle := func() {
+		p.Start(1024, 1, nil)
+		eng.Run()
+	}
+	cycle() // warm scratch slices and the event free list
+	cycle()
+	if avg := testing.AllocsPerRun(200, cycle); avg > 1 {
+		t.Fatalf("steady-state start/fire cycle allocates %.2f allocs/op, want <= 1 (the Actor)", avg)
+	}
+}
+
 func TestParamsValidate(t *testing.T) {
 	if err := testParams().Validate(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden figure outputs from the current code:
+//
+//	go test ./internal/experiments -run TestFigureOutputsMatchGolden -update
+//
+// The committed goldens were captured on the pre-optimization tree, so
+// this test is the determinism contract of the zero-allocation hot
+// path: pooling requests, specializing the event heap and reordering
+// the FR-FCFS bookkeeping must not move a single byte of any table.
+var update = flag.Bool("update", false, "rewrite golden figure output files")
+
+// TestFigureOutputsMatchGolden renders the Fig. 13 quick sweep and the
+// full Fig. 14 grid in every stable format and compares them
+// byte-for-byte against the committed goldens.
+func TestFigureOutputsMatchGolden(t *testing.T) {
+	e := freshEnv(t, 4)
+	builds := []struct {
+		name string
+		tab  Table
+	}{
+		{"F13-quick", Fig13(e, 512<<10, 0.3, 1.5, 0.4, 32)},
+		{"F14", Fig14(e)},
+	}
+	formats := []struct{ format, ext string }{{"text", "txt"}, {"json", "json"}}
+	for _, b := range builds {
+		for _, f := range formats {
+			got, err := b.tab.Render(f.format)
+			if err != nil {
+				t.Fatalf("%s: render %s: %v", b.name, f.format, err)
+			}
+			path := filepath.Join("testdata", "golden", b.name+"."+f.ext)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%s: missing golden (run with -update to create): %v", b.name, err)
+			}
+			if got != string(want) {
+				t.Errorf("%s: %s output drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+					b.name, f.format, path, got, want)
+			}
+		}
+	}
+}

@@ -9,7 +9,6 @@ package machine
 
 import (
 	"fmt"
-	"sort"
 
 	"memthrottle/internal/sim"
 )
@@ -79,6 +78,7 @@ type Exec struct {
 	remaining float64 // solo-seconds of work left
 	done      func()
 	active    bool
+	idx       int // position in core.active; -1 once removed
 }
 
 // Active reports whether the execution is still running.
@@ -86,21 +86,39 @@ func (e *Exec) Active() bool { return e.active }
 
 // Core is one physical core: a processor-sharing server for compute
 // work. n concurrently computing hardware threads each progress at
-// rate 1/n.
+// rate 1/n. Like contend.Pool, active executions live in an
+// index-tracked slice with scratch due/firing sets and a pre-bound
+// fire callback, so the settle/reschedule/fire cycle stays free of
+// steady-state allocations.
 type Core struct {
 	eng        *sim.Engine
 	id         int
-	active     map[*Exec]struct{}
+	active     []*Exec // in-flight executions, unordered; Exec.idx tracks slots
 	lastSettle sim.Time
 	next       *sim.Event
-	due        []*Exec // execs the pending event will complete
+	due        []*Exec   // execs the pending event will complete
+	firing     []*Exec   // scratch swapped with due while callbacks run
+	fireFn     func(any) // pre-bound fire
 	seq        uint64
 
 	busyTime sim.Time // integrated time with >= 1 active exec
 }
 
 func newCore(eng *sim.Engine, id int) *Core {
-	return &Core{eng: eng, id: id, active: make(map[*Exec]struct{})}
+	c := &Core{eng: eng, id: id}
+	c.fireFn = c.fire
+	return c
+}
+
+// remove unlinks an execution by swapping the last slot into its place.
+func (c *Core) remove(e *Exec) {
+	last := len(c.active) - 1
+	moved := c.active[last]
+	c.active[e.idx] = moved
+	moved.idx = e.idx
+	c.active[last] = nil
+	c.active = c.active[:last]
+	e.idx = -1
 }
 
 // ID reports the core index.
@@ -129,7 +147,7 @@ func (c *Core) settle() {
 	}
 	c.busyTime += sim.Time(dt)
 	progress := dt / float64(n)
-	for e := range c.active {
+	for _, e := range c.active {
 		e.remaining -= progress
 		if e.remaining < 0 {
 			e.remaining = 0
@@ -148,7 +166,7 @@ func (c *Core) reschedule() {
 		return
 	}
 	minRem := -1.0
-	for e := range c.active {
+	for _, e := range c.active {
 		if minRem < 0 || e.remaining < minRem {
 			minRem = e.remaining
 		}
@@ -156,25 +174,39 @@ func (c *Core) reschedule() {
 	// Remember which execs this event completes; re-deriving them from
 	// float comparisons at fire time can stall virtual time.
 	const relTol = 1e-12
-	for e := range c.active {
+	for _, e := range c.active {
 		if e.remaining <= minRem*(1+relTol) {
 			c.due = append(c.due, e)
 		}
 	}
-	sort.Slice(c.due, func(i, j int) bool { return c.due[i].seq < c.due[j].seq })
-	c.next = c.eng.After(sim.Time(minRem*float64(n)), c.fire)
+	sortExecsBySeq(c.due)
+	c.next = c.eng.AfterFunc(sim.Time(minRem*float64(n)), c.fireFn, nil)
 }
 
-func (c *Core) fire() {
+// sortExecsBySeq is an insertion sort over the (tiny) due set; unlike
+// sort.Slice it needs no closure and no reflection.
+func sortExecsBySeq(es []*Exec) {
+	for i := 1; i < len(es); i++ {
+		x := es[i]
+		j := i - 1
+		for j >= 0 && es[j].seq > x.seq {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = x
+	}
+}
+
+func (c *Core) fire(any) {
 	c.settle()
-	finished := append([]*Exec(nil), c.due...)
-	for _, e := range finished {
-		delete(c.active, e)
+	c.firing, c.due = c.due, c.firing[:0]
+	for _, e := range c.firing {
+		c.remove(e)
 		e.active = false
 		e.remaining = 0
 	}
 	c.reschedule()
-	for _, e := range finished {
+	for _, e := range c.firing {
 		if e.done != nil {
 			e.done()
 		}
@@ -189,9 +221,9 @@ func (c *Core) StartCompute(solo sim.Time, done func()) *Exec {
 		panic(fmt.Sprintf("machine: StartCompute(%v)", solo))
 	}
 	c.settle()
-	e := &Exec{core: c, seq: c.seq, remaining: float64(solo), done: done, active: true}
+	e := &Exec{core: c, seq: c.seq, remaining: float64(solo), done: done, active: true, idx: len(c.active)}
 	c.seq++
-	c.active[e] = struct{}{}
+	c.active = append(c.active, e)
 	c.reschedule()
 	return e
 }

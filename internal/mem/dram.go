@@ -159,11 +159,80 @@ func (c Config) TotalBandwidth() float64 {
 	return c.BandwidthPerChannel() * float64(c.Channels)
 }
 
-// request is one line access queued at a bank.
+// request is one line access queued at a bank. Requests are pooled on
+// the System (see newRequest/releaseReq): the hot path retires millions
+// per run and reusing the shells keeps steady-state Access at 0
+// allocs/op. The completion callback comes in two forms — a plain
+// closure (done) for external callers, or a pre-bound func plus
+// argument (doneFn/doneArg) for allocation-free internal callers like
+// Stream.
 type request struct {
-	row  int64
-	seq  uint64 // arrival order, for oldest-first
-	done func()
+	row     int64
+	seq     uint64 // arrival order, for oldest-first
+	done    func()
+	doneFn  func(any)
+	doneArg any
+
+	// Routing, resolved at issue time so the arrival event needs no
+	// per-request closure.
+	ch *channel
+	bk *bank
+}
+
+// reqRing is a reusable ring buffer of queued requests with
+// power-of-two capacity. FR-FCFS selection is by sequence number, not
+// queue position, so removal swaps the victim with the logical tail —
+// O(1) and deterministic, since pick scans every element anyway.
+type reqRing struct {
+	buf  []*request
+	head int
+	n    int
+}
+
+// Len reports the number of queued requests.
+func (r *reqRing) Len() int { return r.n }
+
+func (r *reqRing) push(q *request) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = q
+	r.n++
+}
+
+func (r *reqRing) at(i int) *request {
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// removeAt deletes the request at logical index i. The head slot pops
+// in place; interior victims swap with the tail.
+func (r *reqRing) removeAt(i int) {
+	mask := len(r.buf) - 1
+	tail := (r.head + r.n - 1) & mask
+	if i == 0 {
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) & mask
+		r.n--
+		return
+	}
+	pos := (r.head + i) & mask
+	r.buf[pos] = r.buf[tail]
+	r.buf[tail] = nil
+	r.n--
+}
+
+// grow doubles (or seeds) capacity, re-linearizing from head.
+func (r *reqRing) grow() {
+	cap2 := len(r.buf) * 2
+	if cap2 == 0 {
+		cap2 = 8
+	}
+	buf := make([]*request, cap2)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.at(i)
+	}
+	r.buf = buf
+	r.head = 0
 }
 
 // bank is one DRAM bank: an open-page row buffer plus its FR-FCFS
@@ -171,9 +240,10 @@ type request struct {
 type bank struct {
 	openRow    int64 // -1 = no open row
 	busy       bool
-	queue      []*request
+	queue      reqRing
 	streak     int // row hits served past an older waiting request
 	lastServed sim.Time
+	ch         *channel // owner, for the pre-bound bank-free callback
 }
 
 // channel groups its banks with the shared data bus.
@@ -189,6 +259,16 @@ type System struct {
 	channels []*channel
 	rng      *rand.Rand
 	arrivals uint64
+
+	// freeReqs recycles request shells (see request).
+	freeReqs []*request
+
+	// Pre-bound callbacks, created once so the hot path schedules
+	// events without allocating closures or method values.
+	arriveFn     func(any) // arg: *request
+	bankFreeFn   func(any) // arg: *bank
+	streamPumpFn func(any) // arg: *Stream
+	streamLineFn func(any) // arg: *Stream
 
 	// aggregate counters
 	reqs      uint64
@@ -210,10 +290,34 @@ func NewSystem(eng *sim.Engine, cfg Config) *System {
 		ch := &channel{banks: make([]bank, cfg.RanksPerChannel*cfg.BanksPerRank)}
 		for b := range ch.banks {
 			ch.banks[b].openRow = -1
+			ch.banks[b].ch = ch
 		}
 		s.channels = append(s.channels, ch)
 	}
+	s.arriveFn = s.arrive
+	s.bankFreeFn = s.bankFree
+	s.streamPumpFn = s.streamPump
+	s.streamLineFn = s.streamLineDone
 	return s
+}
+
+// newRequest takes a request shell off the free list or allocates one.
+func (s *System) newRequest() *request {
+	if n := len(s.freeReqs); n > 0 {
+		q := s.freeReqs[n-1]
+		s.freeReqs[n-1] = nil
+		s.freeReqs = s.freeReqs[:n-1]
+		return q
+	}
+	return &request{}
+}
+
+// releaseReq returns a served request to the pool. Callback state is
+// dropped immediately so captures can be collected while the shell
+// waits for reuse.
+func (s *System) releaseReq(q *request) {
+	*q = request{}
+	s.freeReqs = append(s.freeReqs, q)
 }
 
 // applyRefresh accounts for periodic refresh lazily, without keeping
@@ -307,33 +411,73 @@ func (s *System) locate(addr uint64) (chIdx, bankIdx int, row int64) {
 // starvation cap), and finally occupies the channel data bus for
 // TBurst.
 func (s *System) Access(addr uint64, done func()) {
+	req := s.issue(addr)
+	req.done = done
+}
+
+// AccessFn is the allocation-free form of Access: doneFn (may be nil)
+// is a pre-bound callback invoked with arg at the completion instant.
+// Internal hot loops (Stream) and steady-state benchmarks use this
+// path; combined with the request pool it issues at 0 allocs/op.
+func (s *System) AccessFn(addr uint64, doneFn func(any), arg any) {
+	req := s.issue(addr)
+	req.doneFn = doneFn
+	req.doneArg = arg
+}
+
+// issue routes addr, draws the front-end jitter, and schedules the
+// pooled request's arrival at its bank.
+func (s *System) issue(addr uint64) *request {
 	chIdx, bankIdx, row := s.locate(addr)
 	ch := s.channels[chIdx]
 	fe := s.cfg.TFrontEnd
 	if s.cfg.FrontJitter > 0 {
 		fe *= sim.Time(1 + s.cfg.FrontJitter*(2*s.rng.Float64()-1))
 	}
-	req := &request{row: row, seq: s.arrivals, done: done}
+	req := s.newRequest()
+	req.row = row
+	req.seq = s.arrivals
+	req.ch = ch
+	req.bk = &ch.banks[bankIdx]
 	s.arrivals++
-	s.eng.After(fe, func() {
-		bk := &ch.banks[bankIdx]
-		bk.queue = append(bk.queue, req)
-		s.serveBank(ch, bk)
-	})
+	s.eng.AfterFunc(fe, s.arriveFn, req)
+	return req
+}
+
+// arrive queues a request at its bank when it clears the front end.
+func (s *System) arrive(x any) {
+	req := x.(*request)
+	bk := req.bk
+	bk.queue.push(req)
+	s.serveBank(req.ch, bk)
+}
+
+// bankFree releases a bank at the end of a service and starts the next.
+func (s *System) bankFree(x any) {
+	bk := x.(*bank)
+	bk.busy = false
+	s.serveBank(bk.ch, bk)
 }
 
 // pick chooses the next request to serve at a bank: the oldest row
 // hit, unless the hit streak cap has been reached while an older
 // non-hit request waits, in which case the oldest request is served.
+// One pass tracks both candidates by sequence number; selection is
+// position-independent (sequence numbers are unique), so the ring's
+// swap-remove cannot change which request wins.
 func (s *System) pick(bk *bank) *request {
-	oldest := 0
-	hit := -1
-	for i, r := range bk.queue {
-		if r.seq < bk.queue[oldest].seq {
-			oldest = i
+	q := &bk.queue
+	oldest, hit := 0, -1
+	oldestSeq := q.at(0).seq
+	var hitSeq uint64
+	openRow := bk.openRow
+	for i := 0; i < q.n; i++ {
+		r := q.at(i)
+		if r.seq < oldestSeq {
+			oldest, oldestSeq = i, r.seq
 		}
-		if r.row == bk.openRow && (hit == -1 || r.seq < bk.queue[hit].seq) {
-			hit = i
+		if r.row == openRow && (hit == -1 || r.seq < hitSeq) {
+			hit, hitSeq = i, r.seq
 		}
 	}
 	idx := oldest
@@ -347,15 +491,15 @@ func (s *System) pick(bk *bank) *request {
 	} else {
 		bk.streak = 0
 	}
-	r := bk.queue[idx]
-	bk.queue = append(bk.queue[:idx], bk.queue[idx+1:]...)
+	r := q.at(idx)
+	q.removeAt(idx)
 	return r
 }
 
 // serveBank starts service of the next queued request if the bank is
 // idle. Completion schedules the next service.
 func (s *System) serveBank(ch *channel, bk *bank) {
-	if bk.busy || len(bk.queue) == 0 {
+	if bk.busy || bk.queue.Len() == 0 {
 		return
 	}
 	bk.busy = true
@@ -397,13 +541,16 @@ func (s *System) serveBank(ch *channel, bk *bank) {
 	if hit {
 		bankFree = dataReady
 	}
-	s.eng.At(bankFree, func() {
-		bk.busy = false
-		s.serveBank(ch, bk)
-	})
-	if req.done != nil {
+	// Order matters when bankFree == complete (every non-hit): the
+	// bank-free event must keep firing before the completion callback,
+	// exactly as the closure-based path scheduled them.
+	s.eng.AtFunc(bankFree, s.bankFreeFn, bk)
+	if req.doneFn != nil {
+		s.eng.AtFunc(complete, req.doneFn, req.doneArg)
+	} else if req.done != nil {
 		s.eng.At(complete, req.done)
 	}
+	s.releaseReq(req)
 }
 
 // Stream issues a memory task's worth of sequential line requests,
@@ -447,17 +594,27 @@ func (st *Stream) pump() {
 		st.remaining--
 		addr := st.next
 		st.next += uint64(st.sys.cfg.LineBytes)
-		st.sys.Access(addr, func() {
-			st.inflight--
-			if st.remaining > 0 {
-				// The core spends think-time on the gathered data
-				// before the next prefetch issues.
-				st.sys.eng.After(st.sys.gap(), st.pump)
-			}
-			if st.remaining == 0 && st.inflight == 0 && st.done != nil {
-				st.done(st.sys.eng.Now())
-				st.done = nil
-			}
-		})
+		st.sys.AccessFn(addr, st.sys.streamLineFn, st)
+	}
+}
+
+// streamPump re-enters a stream's issue loop; pre-bound on the System
+// so think-time rescheduling allocates nothing.
+func (s *System) streamPump(x any) { x.(*Stream).pump() }
+
+// streamLineDone is the per-line completion callback for every stream
+// on this system: pre-bound once, with the stream travelling as the
+// event argument.
+func (s *System) streamLineDone(x any) {
+	st := x.(*Stream)
+	st.inflight--
+	if st.remaining > 0 {
+		// The core spends think-time on the gathered data before the
+		// next prefetch issues.
+		s.eng.AfterFunc(s.gap(), s.streamPumpFn, st)
+	}
+	if st.remaining == 0 && st.inflight == 0 && st.done != nil {
+		st.done(s.eng.Now())
+		st.done = nil
 	}
 }

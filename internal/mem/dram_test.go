@@ -283,6 +283,94 @@ func TestFRFCFSStreakCapPreventsStarvation(t *testing.T) {
 	}
 }
 
+// TestDRAMAccessSteadyStateZeroAlloc pins the pooled request path:
+// once the request pool, event free list and bank rings are warm, an
+// AccessFn batch plus its full simulation drains at 0 allocs/op.
+func TestDRAMAccessSteadyStateZeroAlloc(t *testing.T) {
+	eng := sim.New()
+	s := NewSystem(eng, DDR3_1066())
+	var addr uint64
+	var completed int
+	doneFn := func(any) { completed++ }
+	batch := func() {
+		for i := 0; i < 512; i++ {
+			s.AccessFn(addr, doneFn, nil)
+			addr += 64
+		}
+		eng.Run()
+	}
+	batch() // warm every pool to the batch's high-water mark
+	batch()
+	if avg := testing.AllocsPerRun(50, batch); avg != 0 {
+		t.Fatalf("steady-state AccessFn batch allocates %.2f allocs/op, want 0", avg)
+	}
+	if completed == 0 {
+		t.Fatal("completion callbacks never fired")
+	}
+}
+
+// TestStreamSteadyStateZeroAlloc pins the pre-bound stream pump: after
+// one warm-up stream, running another full stream on the same system
+// performs no steady-state allocations beyond its own Stream header.
+func TestStreamSteadyStateZeroAlloc(t *testing.T) {
+	eng := sim.New()
+	s := NewSystem(eng, DDR3_1066())
+	var base uint64
+	run := func() {
+		s.StartStream(base, 256, nil)
+		base += 256 * 64
+		eng.Run()
+	}
+	run()
+	run()
+	// One allocation is the *Stream itself (per stream, not per line).
+	if avg := testing.AllocsPerRun(50, run); avg > 1 {
+		t.Fatalf("steady-state stream run allocates %.2f allocs/op, want <= 1 (the Stream header)", avg)
+	}
+}
+
+// TestReqRing exercises the ring buffer through wrap-around, interior
+// swap-removal and regrowth.
+func TestReqRing(t *testing.T) {
+	var r reqRing
+	mk := func(seq uint64) *request { return &request{seq: seq} }
+	// Fill past the initial capacity to force one regrow.
+	for i := 0; i < 12; i++ {
+		r.push(mk(uint64(i)))
+	}
+	if r.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", r.Len())
+	}
+	// Pop heads to move the ring's head pointer, then refill to wrap.
+	for i := 0; i < 5; i++ {
+		if got := r.at(0).seq; got != uint64(i) {
+			t.Fatalf("head seq = %d, want %d", got, i)
+		}
+		r.removeAt(0)
+	}
+	for i := 12; i < 16; i++ {
+		r.push(mk(uint64(i)))
+	}
+	// The ring now holds seqs 5..15 in some order; interior removal
+	// must preserve the remaining set.
+	want := map[uint64]bool{}
+	for i := 5; i < 16; i++ {
+		want[uint64(i)] = true
+	}
+	for victim := 0; r.Len() > 0; victim++ {
+		idx := victim % r.Len()
+		seq := r.at(idx).seq
+		if !want[seq] {
+			t.Fatalf("unexpected or duplicate seq %d", seq)
+		}
+		delete(want, seq)
+		r.removeAt(idx)
+	}
+	if len(want) != 0 {
+		t.Fatalf("requests lost by ring removal: %v", want)
+	}
+}
+
 func TestStreamCompletes(t *testing.T) {
 	cfg := DDR3_1066()
 	eng := sim.New()

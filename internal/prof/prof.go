@@ -1,0 +1,87 @@
+// Package prof wires pprof CPU and heap profiling into the CLIs. It
+// exists so every command handles profiles identically: paths are
+// opened (and thus validated) before any simulation work starts, and
+// Stop flushes both profiles on every exit path — including error
+// returns — as long as the caller defers it.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session is a running profile capture. The zero value (from Start
+// with empty paths) is a valid no-op.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins the captures requested by the (possibly empty) flag
+// values. It fails fast: an unwritable path is reported before the
+// caller burns minutes of simulation, not after. On error, anything
+// already started is torn down.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	if memPath != "" {
+		// Validate writability now; the heap snapshot is written at
+		// Stop time, when the allocation picture is complete.
+		f, err := os.Create(memPath)
+		if err != nil {
+			if s.cpuFile != nil {
+				pprof.StopCPUProfile()
+				s.cpuFile.Close()
+			}
+			return nil, fmt.Errorf("prof: create mem profile: %w", err)
+		}
+		f.Close()
+	}
+	return s, nil
+}
+
+// Stop flushes and closes every active capture. It is idempotent and
+// safe to defer immediately after a successful Start.
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	var firstErr error
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("prof: close cpu profile: %w", err)
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("prof: create mem profile: %w", err)
+			}
+		} else {
+			runtime.GC() // materialize the final live-heap picture
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: write mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: close mem profile: %w", err)
+			}
+		}
+		s.memPath = ""
+	}
+	return firstErr
+}

@@ -1,0 +1,75 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartStopWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	s, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i)
+	}
+	_ = x
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil { // idempotent
+		t.Fatalf("second Stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartFailsFastOnUnwritablePath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")
+	if _, err := Start(bad, ""); err == nil {
+		t.Fatal("unwritable cpu path did not fail")
+	}
+	if _, err := Start("", bad); err == nil {
+		t.Fatal("unwritable mem path did not fail")
+	}
+	// A bad mem path must also tear down an already-started CPU capture
+	// so a later Start can succeed.
+	good := filepath.Join(t.TempDir(), "cpu.out")
+	if _, err := Start(good, bad); err == nil {
+		t.Fatal("bad mem path with good cpu path did not fail")
+	}
+	s, err := Start(good, "")
+	if err != nil {
+		t.Fatalf("cpu capture not released after failed Start: %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoOpSession(t *testing.T) {
+	s, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSession *Session
+	if err := nilSession.Stop(); err != nil {
+		t.Fatal("nil session Stop errored")
+	}
+}

@@ -6,10 +6,15 @@
 // common units are provided. Determinism is guaranteed: two events
 // scheduled for the same instant fire in insertion order, so repeated
 // runs with the same inputs produce identical traces.
+//
+// The queue is a specialized indexed 4-ary min-heap over *Event — no
+// container/heap, no interface boxing on push/pop. Combined with the
+// event free list and the pre-bound AtFunc/AfterFunc callback path,
+// the steady-state schedule/fire cycle runs allocation-free (see
+// BenchmarkEngineStep and TestEngineSteadyStateZeroAlloc).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -50,9 +55,18 @@ func (t Time) String() string {
 // was already cancelled remains a no-op as long as the handle has not
 // been reused.
 type Event struct {
-	due    Time
-	seq    uint64
-	fn     func()
+	due Time
+	seq uint64
+
+	// Exactly one of fn (closure path) or afn (pre-bound path with an
+	// explicit argument) is set. The second form exists so hot loops
+	// can schedule without allocating: the callback func is created
+	// once and the per-event state travels in arg, which for a pointer
+	// payload costs no allocation.
+	fn  func()
+	afn func(any)
+	arg any
+
 	index  int // heap index; -1 once removed
 	dead   bool
 	engine *Engine
@@ -67,38 +81,111 @@ func (e *Event) Cancel() {
 	if e == nil || e.dead || e.index < 0 {
 		return
 	}
-	heap.Remove(&e.engine.queue, e.index)
+	e.engine.queue.remove(e.index)
 	e.dead = true
 	e.engine.recycle(e)
 }
 
-type eventQueue []*Event
+// eventQueue is an indexed 4-ary min-heap ordered by (due, seq). The
+// wide fan-out halves the tree depth of the binary heap it replaces,
+// and operating on *Event directly (instead of through heap.Interface)
+// removes the any-boxing and virtual calls from every push and pop.
+type eventQueue struct {
+	ev []*Event
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].due != q[j].due {
-		return q[i].due < q[j].due
+// before reports whether a fires strictly before b.
+func before(a, b *Event) bool {
+	if a.due != b.due {
+		return a.due < b.due
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) push(e *Event) {
+	e.index = len(q.ev)
+	q.ev = append(q.ev, e)
+	q.siftUp(e.index)
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+
+func (q *eventQueue) pop() *Event {
+	root := q.ev[0]
+	n := len(q.ev) - 1
+	last := q.ev[n]
+	q.ev[n] = nil
+	q.ev = q.ev[:n]
+	if n > 0 {
+		q.ev[0] = last
+		last.index = 0
+		q.siftDown(0)
+	}
+	root.index = -1
+	return root
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// remove deletes the event at heap position i.
+func (q *eventQueue) remove(i int) {
+	n := len(q.ev) - 1
+	removed := q.ev[i]
+	last := q.ev[n]
+	q.ev[n] = nil
+	q.ev = q.ev[:n]
+	if i < n {
+		q.ev[i] = last
+		last.index = i
+		q.siftDown(i)
+		q.siftUp(i)
+	}
+	removed.index = -1
+}
+
+func (q *eventQueue) siftUp(i int) {
+	ev := q.ev
+	e := ev[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !before(e, ev[p]) {
+			break
+		}
+		ev[i] = ev[p]
+		ev[i].index = i
+		i = p
+	}
+	ev[i] = e
+	e.index = i
+}
+
+func (q *eventQueue) siftDown(i int) {
+	ev := q.ev
+	n := len(ev)
+	e := ev[i]
+	for {
+		c := 4*i + 1 // first child
+		if c >= n {
+			break
+		}
+		// Find the earliest of up to four children.
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if before(ev[j], ev[m]) {
+				m = j
+			}
+		}
+		if !before(ev[m], e) {
+			break
+		}
+		ev[i] = ev[m]
+		ev[i].index = i
+		i = m
+	}
+	ev[i] = e
+	e.index = i
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
@@ -120,17 +207,19 @@ func New() *Engine { return &Engine{} }
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// recycle returns a dead event to the free list. The closure is
-// dropped immediately so its captures can be collected even while the
-// event shell waits for reuse.
+// recycle returns a dead event to the free list. The callbacks are
+// dropped immediately so their captures can be collected even while
+// the event shell waits for reuse.
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 	e.free = append(e.free, ev)
 }
 
-// At schedules fn to run at absolute time t. Scheduling in the past
-// panics: it would silently corrupt causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+// alloc takes an event shell off the free list (or allocates one) and
+// stamps it with the next sequence number.
+func (e *Engine) alloc(t Time) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
@@ -139,12 +228,23 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		*ev = Event{due: t, seq: e.seq, fn: fn, engine: e}
+		ev.dead = false
 	} else {
-		ev = &Event{due: t, seq: e.seq, fn: fn, engine: e}
+		ev = &Event{}
 	}
+	ev.due = t
+	ev.seq = e.seq
+	ev.engine = e
 	e.seq++
-	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	ev := e.alloc(t)
+	ev.fn = fn
+	e.queue.push(ev)
 	return ev
 }
 
@@ -156,22 +256,48 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// AtFunc schedules the pre-bound callback fn(arg) at absolute time t.
+// This is the allocation-free scheduling path: fn is typically a
+// method value created once and stored by the caller, and arg carries
+// the per-event state (a pointer payload costs no allocation when
+// stored in the event). Scheduling in the past panics.
+func (e *Engine) AtFunc(t Time, fn func(any), arg any) *Event {
+	ev := e.alloc(t)
+	ev.afn = fn
+	ev.arg = arg
+	e.queue.push(ev)
+	return ev
+}
+
+// AfterFunc schedules the pre-bound callback fn(arg) to run d seconds
+// from now. See AtFunc.
+func (e *Engine) AfterFunc(d Time, fn func(any), arg any) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.AtFunc(e.now+d, fn, arg)
+}
+
 // Stop aborts a Run in progress after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // Step fires the next event, advancing the clock to its due time.
 // It reports false if the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.queue.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.queue.pop()
 	ev.dead = true
 	e.now = ev.due
-	ev.fn()
+	if ev.afn != nil {
+		ev.afn(ev.arg)
+	} else {
+		ev.fn()
+	}
 	// Recycle only after the callback returns: code running inside it
 	// (the Cancel-then-reschedule pattern in contend and machine) may
 	// still hold this handle, and a reuse before those references are
@@ -193,7 +319,7 @@ func (e *Engine) Run() Time {
 // clock to deadline if it has not already passed it.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].due <= deadline {
+	for !e.stopped && e.queue.len() > 0 && e.queue.ev[0].due <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {

@@ -232,6 +232,113 @@ func TestEventRecyclingRescheduleLoop(t *testing.T) {
 	}
 }
 
+// TestEngineAtFuncOrdering pins the pre-bound callback path: AtFunc
+// events interleave with At events in strict (due, seq) order and
+// receive their argument.
+func TestEngineAtFuncOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	record := func(x any) { got = append(got, x.(int)) }
+	e.AtFunc(2*Microsecond, record, 2)
+	e.At(Microsecond, func() { got = append(got, 1) })
+	e.AtFunc(Microsecond, record, 10) // same instant as the At: insertion order
+	e.AfterFunc(3*Microsecond, record, 3)
+	e.Run()
+	want := []int{1, 10, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEngineAtFuncCancel verifies pre-bound events cancel like closure
+// events and their shells are recycled with the argument cleared.
+func TestEngineAtFuncCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.AfterFunc(Microsecond, func(any) { ran = true }, nil)
+	ev.Cancel()
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled AtFunc event ran")
+	}
+	if ev.arg != nil || ev.afn != nil {
+		t.Fatal("recycled event retained its pre-bound callback state")
+	}
+}
+
+// TestEngineHeapStress cross-checks the 4-ary heap against a reference
+// ordering: many events with colliding due times plus interleaved
+// cancels must still fire in exact (due, seq) order.
+func TestEngineHeapStress(t *testing.T) {
+	e := New()
+	const n = 500
+	type fired struct {
+		due Time
+		seq int
+	}
+	var got []fired
+	evs := make([]*Event, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		due := Time(i%17) * Microsecond // heavy due-time collisions
+		evs = append(evs, e.At(due, func() { got = append(got, fired{due, i}) }))
+	}
+	// Cancel a scattering of events, including heap-interior ones.
+	cancelled := map[int]bool{}
+	for i := 3; i < n; i += 37 {
+		evs[i].Cancel()
+		cancelled[i] = true
+	}
+	e.Run()
+	want := make([]fired, 0, n)
+	for due := 0; due < 17; due++ {
+		for i := 0; i < n; i++ {
+			if i%17 == due && !cancelled[i] {
+				want = append(want, fired{Time(due) * Microsecond, i})
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: fired %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// stepper is the allocation-test harness: a pre-bound method value
+// rescheduling itself through the AfterFunc path.
+type stepper struct {
+	e  *Engine
+	fn func(any)
+}
+
+func (s *stepper) tick(any) { s.e.AfterFunc(Nanosecond, s.fn, s) }
+
+// TestEngineSteadyStateZeroAlloc pins the zero-allocation contract of
+// the schedule/fire steady state: once the free list is warm, AfterFunc
+// scheduling plus Step firing allocates nothing.
+func TestEngineSteadyStateZeroAlloc(t *testing.T) {
+	e := New()
+	s := &stepper{e: e}
+	s.fn = s.tick
+	e.AfterFunc(Nanosecond, s.fn, s)
+	for i := 0; i < 64; i++ { // warm the free list and heap backing
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(1000, func() { e.Step() }); avg != 0 {
+		t.Fatalf("steady-state schedule/fire allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
 // BenchmarkEngineStep measures the steady-state schedule/fire cycle the
 // simulation hot path consists of. With the event free list the loop
 // runs allocation-free: the sole pending event's shell ping-pongs
