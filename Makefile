@@ -14,7 +14,7 @@ HOT_BENCHES  = BenchmarkDRAMAccess|BenchmarkStreamPump|BenchmarkCalibrate
 
 .PHONY: check fmt vet build test race bench bench-baseline
 
-check: fmt vet build race
+check: fmt vet build test race
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -29,10 +29,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The race suite covers everything test does, plus the concurrency of
-# the parallel run engine, the calibration cache and the baseline memo.
+# The race pass re-runs the concurrency-heavy packages — the host
+# runtime (worker pool, watchdog, cancellation, chaos suite) and the
+# parallel run engine — under the race detector. The rest of the tree
+# is single-goroutine simulation already covered by `test`.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./host/... ./internal/parallel/...
 
 # bench runs the simulator hot-path benchmarks and reports deltas
 # against the committed baseline. bench-baseline rewrites the baseline

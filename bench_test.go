@@ -50,9 +50,12 @@ func runSpec(b *testing.B, id string) experiments.Table {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	var tab experiments.Table
+	var err error
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tab = spec.Run(env)
+		if tab, err = spec.Run(env); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.StopTimer()
 	return tab
@@ -111,9 +114,12 @@ func BenchmarkTable3SIFTRatios(b *testing.B) {
 func fig13(b *testing.B, footprint float64) {
 	env := benchEnvironment(b)
 	var pts []experiments.Fig13Point
+	var err error
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts = experiments.Fig13Sweep(env, footprint, 0.1, 4.0, 0.1, 64)
+		if pts, err = experiments.Fig13Sweep(env, footprint, 0.1, 4.0, 0.1, 64); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.StopTimer()
 	peak, errSum := 0.0, 0.0

@@ -67,6 +67,9 @@ func run() error {
 	if err := jobsFlagError(*jobs); err != nil {
 		return err
 	}
+	if err := stepFlagError(*step); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, s := range experiments.Catalog() {
@@ -117,19 +120,23 @@ func run() error {
 	runOne := func(s experiments.Spec) error {
 		t1 := time.Now()
 		var tab experiments.Table
+		var runErr error
 		if *step > 0 {
 			switch s.ID {
 			case "F13a":
-				tab = experiments.Fig13(env, 512<<10, 0.05, 4.0, *step, 64)
+				tab, runErr = experiments.Fig13(env, 512<<10, 0.05, 4.0, *step, 64)
 			case "F13b":
-				tab = experiments.Fig13(env, 1<<20, 0.05, 4.0, *step, 64)
+				tab, runErr = experiments.Fig13(env, 1<<20, 0.05, 4.0, *step, 64)
 			case "F13c":
-				tab = experiments.Fig13(env, 2<<20, 0.05, 4.0, *step, 64)
+				tab, runErr = experiments.Fig13(env, 2<<20, 0.05, 4.0, *step, 64)
 			default:
-				tab = s.Run(env)
+				tab, runErr = s.Run(env)
 			}
 		} else {
-			tab = s.Run(env)
+			tab, runErr = s.Run(env)
+		}
+		if runErr != nil {
+			return fmt.Errorf("%s: %w", s.ID, runErr)
 		}
 		tab.Elapsed = time.Since(t1).Seconds()
 		elapsed[s.ID] = tab.Elapsed
@@ -186,6 +193,23 @@ func jobsFlagError(jobs int) error {
 	})
 	if set && jobs < 1 {
 		return fmt.Errorf("-j %d: worker count must be >= 1", jobs)
+	}
+	return nil
+}
+
+// stepFlagError rejects an explicitly-passed nonsensical sweep step.
+// The default (flag not set, 0) means "use the catalog's step"; an
+// explicit zero or negative value must error rather than be silently
+// ignored.
+func stepFlagError(step float64) error {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "step" {
+			set = true
+		}
+	})
+	if set && step <= 0 {
+		return fmt.Errorf("-step %g: sweep step must be > 0", step)
 	}
 	return nil
 }

@@ -12,11 +12,22 @@
 // throttling semantics (never more than MTL memory tasks in flight,
 // dependency order, per-pair monitoring, dynamic adaptation) are
 // identical and are tested here.
+//
+// The runtime is built to survive hostile workloads: RunContext
+// honours context cancellation and per-Run deadlines (workers drain
+// between tasks and partial Stats are returned), Config.Retry replays
+// tasks that error or panic with jittered exponential backoff,
+// Config.StallTimeout arms a watchdog that flags wedged tasks and
+// degrades the Dynamic controller to the conventional schedule, and
+// the FaultInjector in chaos.go exercises all of it under seeded
+// fault injection.
 package host
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -28,10 +39,50 @@ import (
 // the pair's footprint toward the cache (the paper uses prefetch
 // loops); Compute consumes it; Scatter optionally writes results back.
 // Memory and Scatter count against the MTL; Compute does not.
+//
+// Each task slot has a plain and an error-returning form; set exactly
+// one of the two (the error form makes the task eligible for retry on
+// a returned error as well as on a panic).
 type Pair struct {
 	Memory  func()
 	Compute func()
 	Scatter func() // optional
+
+	// MemoryErr, ComputeErr and ScatterErr are the error-returning
+	// variants of the slots above.
+	MemoryErr  func() error
+	ComputeErr func() error
+	ScatterErr func() error
+}
+
+// taskFns resolves the pair's slots into uniform error-returning
+// functions, validating that each slot is singly set.
+func (p Pair) taskFns(i int) (mem, comp, scat func() error, err error) {
+	pick := func(name string, plain func(), withErr func() error, required bool) (func() error, error) {
+		switch {
+		case plain != nil && withErr != nil:
+			return nil, fmt.Errorf("host: pair %d sets both %s and %sErr", i, name, name)
+		case withErr != nil:
+			return withErr, nil
+		case plain != nil:
+			f := plain
+			return func() error { f(); return nil }, nil
+		case required:
+			return nil, fmt.Errorf("host: pair %d missing memory or compute task", i)
+		default:
+			return nil, nil
+		}
+	}
+	if mem, err = pick("Memory", p.Memory, p.MemoryErr, true); err != nil {
+		return nil, nil, nil, err
+	}
+	if comp, err = pick("Compute", p.Compute, p.ComputeErr, true); err != nil {
+		return nil, nil, nil, err
+	}
+	if scat, err = pick("Scatter", p.Scatter, p.ScatterErr, false); err != nil {
+		return nil, nil, nil, err
+	}
+	return mem, comp, scat, nil
 }
 
 // Policy selects the throttling controller.
@@ -76,6 +127,22 @@ type Config struct {
 	MTL int
 	// W is the monitor window for adaptive policies. Default: 16.
 	W int
+	// Retry re-executes tasks that return an error or panic. The zero
+	// value disables retry.
+	Retry RetryPolicy
+	// RunTimeout, when positive, bounds every Run/RunContext call: on
+	// expiry the run drains and returns partial Stats plus
+	// context.DeadlineExceeded.
+	RunTimeout time.Duration
+	// StallTimeout, when positive, arms a watchdog that flags tasks
+	// running longer than this (Stats.Stalls) and, after
+	// StallFallbackAfter flags in one run, degrades the Dynamic
+	// controller to the conventional schedule. Default: off.
+	StallTimeout time.Duration
+	// StallFallbackAfter is the number of stalled tasks in one run
+	// that triggers graceful degradation. Default: 3 (when the
+	// watchdog is armed).
+	StallFallbackAfter int
 }
 
 // withDefaults fills zero fields.
@@ -86,6 +153,10 @@ func (c Config) withDefaults() Config {
 	if c.W == 0 {
 		c.W = 16
 	}
+	if c.StallTimeout > 0 && c.StallFallbackAfter == 0 {
+		c.StallFallbackAfter = 3
+	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
 
@@ -106,18 +177,42 @@ func (c Config) validate() error {
 	if (c.Policy == Dynamic || c.Policy == OnlineExhaustive) && c.Workers < 2 {
 		return fmt.Errorf("host: adaptive policies need >= 2 workers")
 	}
+	if err := c.Retry.validate(); err != nil {
+		return err
+	}
+	if c.RunTimeout < 0 {
+		return fmt.Errorf("host: RunTimeout = %v, want >= 0", c.RunTimeout)
+	}
+	if c.StallTimeout < 0 {
+		return fmt.Errorf("host: StallTimeout = %v, want >= 0", c.StallTimeout)
+	}
+	if c.StallFallbackAfter < 0 {
+		return fmt.Errorf("host: StallFallbackAfter = %d, want >= 0", c.StallFallbackAfter)
+	}
+	if c.StallFallbackAfter > 0 && c.StallTimeout == 0 {
+		return fmt.Errorf("host: StallFallbackAfter set without StallTimeout")
+	}
 	return nil
 }
 
-// Stats summarises one Run.
+// Stats summarises one Run. On a cancelled or failed run the counters
+// cover the completed prefix of the work.
 type Stats struct {
 	Elapsed        time.Duration
-	Pairs          int
+	Pairs          int // pairs submitted
+	CompletedPairs int // pairs whose compute task finished
 	FinalMTL       int
 	MTLDecisions   []int
 	MeanTm         time.Duration // mean memory-task duration
 	MeanTc         time.Duration // mean compute-task duration
 	MaxConcurrentM int           // observed peak concurrent memory tasks
+
+	Retries   int   // task re-executions performed
+	Recovered int   // tasks that succeeded after at least one retry
+	Stalls    int   // tasks flagged by the stall watchdog
+	Stalled   []int // pair index of each flagged task, in detection order
+	Degraded  bool  // Dynamic controller fell back to Conventional
+	Cancelled bool  // run ended early on cancellation or deadline
 }
 
 // Runtime schedules pairs under MTL throttling.
@@ -164,6 +259,21 @@ func (r *Runtime) MTL() int {
 	return r.th.MTL()
 }
 
+// Health reports the controller's measurement-guard summary (adaptive
+// policies only; the zero Health otherwise).
+func (r *Runtime) Health() core.Health {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch t := r.th.(type) {
+	case *core.Dynamic:
+		return t.Health()
+	case *core.OnlineExhaustive:
+		return t.Health()
+	default:
+		return core.Health{}
+	}
+}
+
 // Close marks the runtime closed; subsequent Run calls fail.
 func (r *Runtime) Close() {
 	r.mu.Lock()
@@ -176,7 +286,7 @@ type job struct {
 	id     int
 	pair   int
 	memory bool
-	fn     func()
+	fn     func() error
 }
 
 // Run executes one phase of pairs to completion and returns its
@@ -185,14 +295,38 @@ type job struct {
 // flight. Run blocks until the phase completes (the paper's phases
 // are barrier-separated).
 func (r *Runtime) Run(pairs []Pair) (Stats, error) {
+	return r.RunContext(context.Background(), pairs)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (or the
+// configured RunTimeout expires) the queues drain, workers stop
+// picking up tasks, and the call returns the partial Stats of the
+// completed prefix together with ctx's error. Tasks already executing
+// are not interrupted — a worker wedged inside user code keeps its
+// goroutine until the task returns — but the call itself returns
+// promptly and the runtime stays usable.
+func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	if len(pairs) == 0 {
 		return Stats{}, errors.New("host: Run with no pairs")
 	}
+	type fns struct{ mem, comp, scat func() error }
+	tasks := make([]fns, len(pairs))
 	for i, p := range pairs {
-		if p.Memory == nil || p.Compute == nil {
-			return Stats{}, fmt.Errorf("host: pair %d missing memory or compute task", i)
+		mem, comp, scat, err := p.taskFns(i)
+		if err != nil {
+			return Stats{}, err
 		}
+		tasks[i] = fns{mem, comp, scat}
 	}
+	if r.cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.RunTimeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return Stats{Pairs: len(pairs), Cancelled: true}, err
+	}
+
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -202,44 +336,70 @@ func (r *Runtime) Run(pairs []Pair) (Stats, error) {
 	r.mu.Unlock()
 
 	ph := &phase{
-		rt:       r,
-		pairs:    pairs,
-		tmDur:    make([]time.Duration, len(pairs)),
-		start:    time.Now(),
-		remain:   0,
-		readyMem: nil,
+		rt:     r,
+		ctx:    ctx,
+		scat:   make([]func() error, len(pairs)),
+		comp:   make([]func() error, len(pairs)),
+		tmDur:  make([]time.Duration, len(pairs)),
+		flight: make([]flightRec, r.cfg.Workers),
+		start:  time.Now(),
+		pairs:  len(pairs),
+		done:   make(chan struct{}),
 	}
 	for i := range pairs {
 		ph.remain += 2
-		if pairs[i].Scatter != nil {
+		ph.comp[i] = tasks[i].comp
+		if tasks[i].scat != nil {
+			ph.scat[i] = tasks[i].scat
 			ph.remain++
 		}
-		ph.readyMem = append(ph.readyMem, &job{id: 3 * i, pair: i, memory: true, fn: pairs[i].Memory})
+		ph.readyMem = append(ph.readyMem, &job{id: 3 * i, pair: i, memory: true, fn: tasks[i].mem})
 	}
 
-	var wg sync.WaitGroup
-	for w := 0; w < r.cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ph.work()
-		}()
+	// The canceller propagates ctx into the phase: it drains the
+	// queues and wakes every worker, then the run returns promptly
+	// with partial stats.
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.mu.Lock()
+			if !ph.aborted {
+				ph.cancelErr = ctx.Err()
+				ph.abortLocked()
+			}
+			r.mu.Unlock()
+		case <-ph.done:
+		}
+	}()
+	if r.cfg.StallTimeout > 0 {
+		go ph.watchdog()
 	}
-	wg.Wait()
+	for w := 0; w < r.cfg.Workers; w++ {
+		go ph.work(w)
+	}
+
+	// Completion or abort, whichever comes first; workers wedged in
+	// user code do not block the return.
+	<-ph.done
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if ph.err != nil {
-		return Stats{}, ph.err
-	}
 	st := Stats{
 		Elapsed:        time.Since(ph.start),
-		Pairs:          len(pairs),
+		Pairs:          ph.pairs,
+		CompletedPairs: ph.completed,
 		FinalMTL:       r.th.MTL(),
 		MaxConcurrentM: r.peakMem,
+		Retries:        ph.retries,
+		Recovered:      ph.recovered,
+		Stalls:         ph.stalls,
+		Stalled:        append([]int(nil), ph.stalledPairs...),
+		Degraded:       ph.degraded,
+		Cancelled:      ph.cancelErr != nil,
 	}
 	if d, ok := r.th.(*core.Dynamic); ok {
 		st.MTLDecisions = append([]int(nil), d.History...)
+		st.Degraded = d.Degraded()
 	}
 	if o, ok := r.th.(*core.OnlineExhaustive); ok {
 		st.MTLDecisions = append([]int(nil), o.History...)
@@ -249,6 +409,12 @@ func (r *Runtime) Run(pairs []Pair) (Stats, error) {
 	}
 	if ph.nTc > 0 {
 		st.MeanTc = ph.sumTc / time.Duration(ph.nTc)
+	}
+	switch {
+	case ph.cancelErr != nil:
+		return st, ph.cancelErr
+	case ph.err != nil:
+		return st, ph.err
 	}
 	return st, nil
 }
@@ -269,11 +435,15 @@ func (r *Runtime) RunPhases(phases [][]Pair) ([]Stats, error) {
 // phase is the shared state of one Run.
 type phase struct {
 	rt        *Runtime
-	pairs     []Pair
+	ctx       context.Context
+	pairs     int
+	comp      []func() error // per-pair compute task
+	scat      []func() error // per-pair scatter task (nil = none)
 	readyMem  []*job
 	readyComp []*job
 	remain    int
 	start     time.Time
+	flight    []flightRec // per-worker in-flight registry
 
 	tmDur []time.Duration // per-pair memory-task duration
 	sumTm time.Duration
@@ -281,7 +451,23 @@ type phase struct {
 	sumTc time.Duration
 	nTc   int
 
-	err error // first task panic, converted to an error
+	completed    int // pairs whose compute finished
+	retries      int
+	recovered    int
+	stalls       int
+	stalledPairs []int
+	degraded     bool
+
+	err       error // first terminal task failure
+	cancelErr error // ctx cancellation, set by the canceller
+	aborted   bool  // queues drained; workers must exit
+	done      chan struct{}
+	doneOnce  sync.Once
+}
+
+// signalDoneLocked releases RunContext. Caller holds rt.mu.
+func (ph *phase) signalDoneLocked() {
+	ph.doneOnce.Do(func() { close(ph.done) })
 }
 
 // pick returns the next runnable job under the MTL gate, or nil when
@@ -318,14 +504,14 @@ func insert(q []*job, j *job) []*job {
 
 // work is the worker-goroutine loop: the paper's child threads
 // dequeuing from the work queue under the lock-and-counter MTL gate.
-func (ph *phase) work() {
+// Cancellation and aborts are observed between tasks: a worker always
+// finishes (or exhausts retries on) the task it is running, then
+// drains.
+func (ph *phase) work(slot int) {
 	r := ph.rt
 	r.mu.Lock()
 	for {
-		if ph.err != nil {
-			// A sibling's task panicked: drain instead of running
-			// more user code so Run can fail cleanly.
-			ph.abortLocked()
+		if ph.aborted {
 			r.mu.Unlock()
 			return
 		}
@@ -346,16 +532,31 @@ func (ph *phase) work() {
 		}
 		r.mu.Unlock()
 
-		t0 := time.Now()
-		panicked := ph.runTask(j)
-		dur := time.Since(t0)
+		dur, attempts, err := ph.runWithRetry(slot, j)
 
 		r.mu.Lock()
-		if panicked {
-			if j.memory {
-				r.activeMem--
+		ph.flight[slot] = flightRec{}
+		if j.memory {
+			r.activeMem--
+		}
+		if attempts > 1 {
+			ph.retries += attempts - 1
+			if err == nil {
+				ph.recovered++
+			}
+		}
+		if err != nil {
+			if ph.err == nil {
+				ph.err = err
 			}
 			ph.abortLocked()
+			r.mu.Unlock()
+			return
+		}
+		if ph.aborted {
+			// The phase was torn down while this task ran: the result
+			// is dropped, the memory slot above is already released.
+			r.cond.Broadcast()
 			r.mu.Unlock()
 			return
 		}
@@ -363,22 +564,58 @@ func (ph *phase) work() {
 	}
 }
 
-// runTask executes one task, converting a panic into ph.err. It
-// reports whether the task panicked.
-func (ph *phase) runTask(j *job) (panicked bool) {
+// runWithRetry executes one task under the retry policy, returning
+// the successful attempt's duration and the number of attempts made.
+// Each attempt re-registers the task with the stall watchdog; backoff
+// sleeps observe cancellation.
+func (ph *phase) runWithRetry(slot int, j *job) (dur time.Duration, attempts int, err error) {
+	pol := ph.rt.cfg.Retry
+	var rng *rand.Rand
+	for attempts = 1; ; attempts++ {
+		ph.rt.mu.Lock()
+		ph.flight[slot] = flightRec{active: true, pair: j.pair, memory: j.memory, start: time.Now()}
+		ph.rt.mu.Unlock()
+
+		t0 := time.Now()
+		err = ph.runTask(j)
+		if err == nil {
+			return time.Since(t0), attempts, nil
+		}
+		if !pol.enabled() || attempts >= pol.MaxAttempts {
+			if attempts > 1 {
+				err = fmt.Errorf("%w (after %d attempts)", err, attempts)
+			}
+			return 0, attempts, err
+		}
+		if ph.ctx.Err() != nil {
+			return 0, attempts, err
+		}
+		if rng == nil {
+			// Decorrelated per worker, reproducible per seed.
+			rng = rand.New(rand.NewSource(pol.Seed + int64(slot)*0x9E3779B9 + 1))
+		}
+		timer := time.NewTimer(pol.delay(attempts, rng))
+		select {
+		case <-timer.C:
+		case <-ph.ctx.Done():
+			timer.Stop()
+			return 0, attempts, err
+		}
+	}
+}
+
+// runTask executes one task once, converting a returned error or a
+// panic into a decorated error.
+func (ph *phase) runTask(j *job) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			panicked = true
-			ph.rt.mu.Lock()
-			if ph.err == nil {
-				ph.err = fmt.Errorf("host: pair %d %s task panicked: %v",
-					j.pair, taskName(j), rec)
-			}
-			ph.rt.mu.Unlock()
+			err = fmt.Errorf("host: pair %d %s task panicked: %v", j.pair, taskName(j), rec)
 		}
 	}()
-	j.fn()
-	return false
+	if taskErr := j.fn(); taskErr != nil {
+		return fmt.Errorf("host: pair %d %s task failed: %w", j.pair, taskName(j), taskErr)
+	}
+	return nil
 }
 
 func taskName(j *job) string {
@@ -392,13 +629,15 @@ func taskName(j *job) string {
 	}
 }
 
-// abortLocked empties the queues and wakes everyone so workers exit.
-// Caller holds rt.mu.
+// abortLocked empties the queues, marks the phase dead and wakes
+// everyone: blocked workers exit, RunContext returns. Caller holds
+// rt.mu.
 func (ph *phase) abortLocked() {
-	ph.remain -= len(ph.readyMem) + len(ph.readyComp)
+	ph.aborted = true
 	ph.readyMem = nil
 	ph.readyComp = nil
 	ph.remain = 0
+	ph.signalDoneLocked()
 	ph.rt.cond.Broadcast()
 }
 
@@ -406,20 +645,19 @@ func (ph *phase) abortLocked() {
 // completes. Caller holds rt.mu; broadcasts to wake blocked workers.
 func (ph *phase) finish(j *job, dur time.Duration) {
 	r := ph.rt
-	p := &ph.pairs[j.pair]
 	if j.memory {
-		r.activeMem--
 		if j.id%3 == 0 { // gather: enable the compute task
 			ph.tmDur[j.pair] = dur
 			ph.sumTm += dur
 			ph.nTm++
-			ph.readyComp = insert(ph.readyComp, &job{id: j.id + 1, pair: j.pair, fn: p.Compute})
+			ph.readyComp = insert(ph.readyComp, &job{id: j.id + 1, pair: j.pair, fn: ph.comp[j.pair]})
 		}
 	} else {
 		ph.sumTc += dur
 		ph.nTc++
-		if p.Scatter != nil {
-			ph.readyMem = insert(ph.readyMem, &job{id: j.id + 1, pair: j.pair, memory: true, fn: p.Scatter})
+		ph.completed++
+		if ph.scat[j.pair] != nil {
+			ph.readyMem = insert(ph.readyMem, &job{id: j.id + 1, pair: j.pair, memory: true, fn: ph.scat[j.pair]})
 		}
 		// A completed memory/compute pair feeds the controller with
 		// real wall-clock timings.
@@ -430,5 +668,8 @@ func (ph *phase) finish(j *job, dur time.Duration) {
 		})
 	}
 	ph.remain--
+	if ph.remain == 0 {
+		ph.signalDoneLocked()
+	}
 	r.cond.Broadcast()
 }

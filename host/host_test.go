@@ -1,6 +1,7 @@
 package host
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -70,21 +71,129 @@ func makePairs(n int, withScatter bool) (pairs []Pair, memRuns, compRuns, scatRu
 }
 
 func TestConfigValidation(t *testing.T) {
-	cases := []Config{
-		{Workers: -1},
-		{Policy: Static, Workers: 4},           // MTL unset
-		{Policy: Static, Workers: 4, MTL: 5},   // MTL > workers
-		{Policy: Dynamic, Workers: 4, MTL: 2},  // MTL with adaptive policy
-		{Policy: Dynamic, Workers: 1},          // adaptive needs >= 2
-		{Policy: Policy(99), Workers: 4, W: 4}, // unknown policy
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative workers", Config{Workers: -1}},
+		{"negative W", Config{Workers: 4, W: -1}},
+		{"static MTL unset", Config{Policy: Static, Workers: 4}},
+		{"static MTL > workers", Config{Policy: Static, Workers: 4, MTL: 5}},
+		{"MTL with adaptive policy", Config{Policy: Dynamic, Workers: 4, MTL: 2}},
+		{"adaptive needs >= 2", Config{Policy: Dynamic, Workers: 1}},
+		{"unknown policy", Config{Policy: Policy(99), Workers: 4, W: 4}},
+		{"negative retry attempts", Config{Workers: 4, Retry: RetryPolicy{MaxAttempts: -1}}},
+		{"negative retry base delay", Config{Workers: 4, Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: -time.Millisecond}}},
+		{"negative retry max delay", Config{Workers: 4, Retry: RetryPolicy{MaxAttempts: 3, MaxDelay: -time.Millisecond}}},
+		{"base delay above max delay", Config{Workers: 4, Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Second, MaxDelay: time.Millisecond}}},
+		{"retry multiplier below 1", Config{Workers: 4, Retry: RetryPolicy{MaxAttempts: 3, Multiplier: 0.5}}},
+		{"negative retry jitter", Config{Workers: 4, Retry: RetryPolicy{MaxAttempts: 3, Jitter: -0.1}}},
+		{"retry jitter >= 1", Config{Workers: 4, Retry: RetryPolicy{MaxAttempts: 3, Jitter: 1.0}}},
+		{"negative run timeout", Config{Workers: 4, RunTimeout: -time.Second}},
+		{"negative stall timeout", Config{Workers: 4, StallTimeout: -time.Second}},
+		{"negative stall fallback", Config{Workers: 4, StallTimeout: time.Second, StallFallbackAfter: -1}},
+		{"stall fallback without watchdog", Config{Workers: 4, StallFallbackAfter: 2}},
 	}
-	for i, c := range cases {
-		if _, err := New(c); err == nil {
-			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil {
+			t.Errorf("%s: invalid config accepted: %+v", c.name, c.cfg)
 		}
 	}
-	if _, err := New(Config{}); err != nil {
-		t.Errorf("default config rejected: %v", err)
+	for _, c := range []Config{
+		{},
+		{Workers: 4, Retry: RetryPolicy{MaxAttempts: 3}},
+		{Workers: 4, StallTimeout: time.Second},
+		{Workers: 4, StallTimeout: time.Second, StallFallbackAfter: 1},
+		{Workers: 4, RunTimeout: time.Minute},
+	} {
+		if _, err := New(c); err != nil {
+			t.Errorf("valid config %+v rejected: %v", c, err)
+		}
+	}
+}
+
+func TestPairSlotValidation(t *testing.T) {
+	rt, err := New(Config{Workers: 2, Policy: Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	nop := func() {}
+	nopErr := func() error { return nil }
+	bad := []Pair{
+		{Memory: nop, Compute: nop, MemoryErr: nopErr},                // both memory forms
+		{Memory: nop, Compute: nop, ComputeErr: nopErr},               // both compute forms
+		{Memory: nop, Compute: nop, Scatter: nop, ScatterErr: nopErr}, // both scatter forms
+		{Compute: nop},      // memory missing
+		{MemoryErr: nopErr}, // compute missing
+	}
+	for i, p := range bad {
+		if _, err := rt.Run([]Pair{p}); err == nil {
+			t.Errorf("bad pair %d accepted", i)
+		}
+	}
+	// Error-returning forms are first-class.
+	var ran int64
+	ok := Pair{
+		MemoryErr:  func() error { atomic.AddInt64(&ran, 1); return nil },
+		ComputeErr: func() error { atomic.AddInt64(&ran, 1); return nil },
+		ScatterErr: func() error { atomic.AddInt64(&ran, 1); return nil },
+	}
+	if _, err := rt.Run([]Pair{ok}); err != nil {
+		t.Fatalf("error-form pair rejected: %v", err)
+	}
+	if ran != 3 {
+		t.Errorf("error-form tasks ran %d times, want 3", ran)
+	}
+}
+
+func TestTaskErrorSurfaces(t *testing.T) {
+	rt, err := New(Config{Workers: 2, Policy: Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	boom := errors.New("disk on fire")
+	pairs := []Pair{{
+		Memory:     func() {},
+		ComputeErr: func() error { return boom },
+	}}
+	_, err = rt.Run(pairs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("task error not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "pair 0 compute task failed") {
+		t.Errorf("error lacks context: %v", err)
+	}
+}
+
+func TestPanicDrainsSiblings(t *testing.T) {
+	rt, err := New(Config{Workers: 2, Policy: Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pairs, mem, comp, _, _, _ := makePairs(40, false)
+	pairs[0].Compute = func() { panic("early boom") }
+	st, runErr := rt.Run(pairs)
+	if runErr == nil {
+		t.Fatal("panic did not surface")
+	}
+	// The queues must have been drained: nowhere near all 40 pairs may
+	// have executed after the first compute panicked.
+	if got := atomic.LoadInt64(mem); got >= 40 {
+		t.Errorf("all %d memory tasks ran despite the early panic (no drain)", got)
+	}
+	if st.CompletedPairs != int(atomic.LoadInt64(comp)) {
+		t.Errorf("CompletedPairs = %d, counters say %d", st.CompletedPairs, *comp)
+	}
+	// The runtime must remain usable after the failed phase.
+	ok, m2, c2, _, _, _ := makePairs(10, false)
+	if _, err := rt.Run(ok); err != nil {
+		t.Fatalf("runtime wedged after drain: %v", err)
+	}
+	if *m2 != 10 || *c2 != 10 {
+		t.Errorf("post-drain run executed %d/%d, want 10/10", *m2, *c2)
 	}
 }
 

@@ -1,0 +1,69 @@
+package host
+
+import (
+	"time"
+
+	"memthrottle/internal/core"
+)
+
+// flightRec tracks one worker's in-flight task for the stall watchdog.
+// Guarded by Runtime.mu.
+type flightRec struct {
+	active  bool
+	stalled bool // already flagged; a task stalls at most once
+	pair    int
+	memory  bool
+	start   time.Time
+}
+
+// watchdog periodically scans the flight registry for tasks that have
+// been running longer than Config.StallTimeout. A flagged task is
+// recorded in the phase's stall statistics; once the phase accumulates
+// Config.StallFallbackAfter stalls the runtime no longer trusts its
+// task timings and degrades gracefully: the Dynamic controller is
+// pinned to the conventional MTL (= workers) so a wedged memory task
+// can never starve the run through a tight throttle. The watchdog
+// exits when the phase completes or aborts.
+func (ph *phase) watchdog() {
+	r := ph.rt
+	tick := r.cfg.StallTimeout / 4
+	if tick < 200*time.Microsecond {
+		tick = 200 * time.Microsecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ph.done:
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		for i := range ph.flight {
+			f := &ph.flight[i]
+			if !f.active || f.stalled || time.Since(f.start) <= r.cfg.StallTimeout {
+				continue
+			}
+			f.stalled = true
+			ph.stalls++
+			ph.stalledPairs = append(ph.stalledPairs, f.pair)
+			if ph.stalls >= r.cfg.StallFallbackAfter {
+				r.degradeLocked(ph)
+			}
+		}
+		r.mu.Unlock()
+	}
+}
+
+// degradeLocked pins an adaptive Dynamic controller to the
+// conventional MTL and records the fallback. Caller holds r.mu.
+func (r *Runtime) degradeLocked(ph *phase) {
+	d, ok := r.th.(*core.Dynamic)
+	if !ok || d.Degraded() {
+		return
+	}
+	d.ForceConventional()
+	ph.degraded = true
+	// The MTL just widened to the worker count: wake gated workers.
+	r.cond.Broadcast()
+}

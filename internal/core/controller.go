@@ -91,6 +91,8 @@ type Dynamic struct {
 	watching  bool
 	prevIdle  int
 	prevRatio float64
+	guard     guard
+	degraded  bool
 
 	// Stats for overhead and adaptation reporting.
 	MonitoredPairs int
@@ -147,12 +149,41 @@ func (d *Dynamic) Name() string {
 func (d *Dynamic) MTL() int { return d.mtl }
 
 // Monitoring implements Throttler: the mechanism measures individual
-// tasks both while probing and while watching for phase changes.
-func (d *Dynamic) Monitoring() bool { return true }
+// tasks both while probing and while watching for phase changes. A
+// degraded controller has stopped adapting and measures nothing.
+func (d *Dynamic) Monitoring() bool { return !d.degraded }
 
 // Watching reports whether the mechanism is in the steady phase-watch
 // state (as opposed to actively probing candidate MTLs).
 func (d *Dynamic) Watching() bool { return d.watching }
+
+// Health reports the measurement-guard summary: samples kept, clamped
+// and dropped, windows discarded, and fallback state.
+func (d *Dynamic) Health() Health {
+	h := d.guard.h
+	h.Degraded = d.degraded
+	return h
+}
+
+// Degraded reports whether the controller has been forced into the
+// conventional fallback.
+func (d *Dynamic) Degraded() bool { return d.degraded }
+
+// ForceConventional pins the controller to the conventional MTL
+// (MTL = n) and stops it from adapting — the graceful-degradation path
+// the host runtime takes when its stall watchdog no longer trusts
+// task timings. The fallback is recorded in Health and History.
+func (d *Dynamic) ForceConventional() {
+	if d.degraded {
+		return
+	}
+	d.degraded = true
+	d.guard.h.Fallbacks++
+	d.mtl = d.model.N
+	d.watching = false
+	d.win.reset()
+	d.History = append(d.History, d.mtl)
+}
 
 func (d *Dynamic) startSelection() {
 	if d.opts.LinearSearch {
@@ -170,14 +201,34 @@ func (d *Dynamic) startSelection() {
 	d.win.reset()
 }
 
-// OnPair implements Throttler.
+// OnPair implements Throttler. Samples pass the measurement guard
+// first: non-finite or non-positive timings are dropped and outlying
+// Tm spikes winsorized, so a polluted measurement cannot steer the
+// binary search (cf. MISE's estimation guard rails).
 func (d *Dynamic) OnPair(s PairSample) {
+	if d.degraded {
+		return
+	}
+	s, ok := d.guard.admit(s)
+	if !ok {
+		return
+	}
 	d.MonitoredPairs++
 	if !d.win.add(s) {
 		return
 	}
 	m := d.win.measurement()
 	d.win.reset()
+	if !finitePositive(m.Tm) || !finitePositive(m.Tc) {
+		// Defensive: an unusable aggregate never reaches the selector.
+		// The window is discarded and the search state clamped back
+		// into its domain; the current probe is simply re-measured.
+		d.guard.h.DiscardedWindows++
+		if !d.watching {
+			d.sel.Clamp()
+		}
+		return
+	}
 
 	if d.watching {
 		if d.opts.NaiveRatioTrigger > 0 {
@@ -246,12 +297,16 @@ type OnlineExhaustive struct {
 	bestSpan Time
 	prevSpan Time
 	havePrev bool
+	guard    guard
 
 	MonitoredPairs int
 	Selections     int
 	TotalProbes    int
 	History        []int
 }
+
+// Health reports the measurement-guard summary.
+func (o *OnlineExhaustive) Health() Health { return o.guard.h }
 
 // NewOnlineExhaustive builds the baseline with the paper's
 // best-performing threshold of 10% unless overridden (threshold <= 0
@@ -289,8 +344,14 @@ func (o *OnlineExhaustive) startProbe() {
 	o.Selections++
 }
 
-// OnPair implements Throttler.
+// OnPair implements Throttler. The same measurement guard as Dynamic
+// screens samples: the naive baseline is even more exposed to polluted
+// timings because its trigger compares raw window spans.
 func (o *OnlineExhaustive) OnPair(s PairSample) {
+	s, ok := o.guard.admit(s)
+	if !ok {
+		return
+	}
 	o.MonitoredPairs++
 	if !o.win.add(s) {
 		return

@@ -38,7 +38,7 @@ func TestDefaultEnvCalibration(t *testing.T) {
 
 func TestCatalogComplete(t *testing.T) {
 	want := []string{"C1", "T2", "T3", "F13a", "F13b", "F13c", "F14", "F15",
-		"F16", "F17", "F18", "X1", "X2", "A1", "A2", "A3", "N1", "P1"}
+		"F16", "F17", "F18", "X1", "X2", "A1", "A2", "A3", "N1", "R1", "P1"}
 	got := Catalog()
 	if len(got) != len(want) {
 		t.Fatalf("catalog has %d entries, want %d", len(got), len(want))
@@ -84,8 +84,32 @@ func TestTable3RatiosMatchPaper(t *testing.T) {
 	}
 }
 
+// sweep runs Fig13Sweep and fails the test on a range error.
+func sweep(t *testing.T, footprint float64, lo, hi, step float64, pairs int) []Fig13Point {
+	t.Helper()
+	pts, err := Fig13Sweep(env(t), footprint, lo, hi, step, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func TestFig13SweepRejectsBadRange(t *testing.T) {
+	e := env(t)
+	for _, c := range []struct{ lo, hi, step float64 }{
+		{0, 1, 0.1},   // lo not positive
+		{1, 0.5, 0.1}, // hi below lo
+		{1, 2, 0},     // step not positive
+		{1, 2, -0.1},  // negative step
+	} {
+		if _, err := Fig13Sweep(e, workload.Footprint, c.lo, c.hi, c.step, 8); err == nil {
+			t.Errorf("bad sweep [%g, %g] step %g accepted", c.lo, c.hi, c.step)
+		}
+	}
+}
+
 func TestFig13ShapeInvariants(t *testing.T) {
-	pts := Fig13Sweep(env(t), workload.Footprint, 0.15, 4.0, 0.35, 48)
+	pts := sweep(t, workload.Footprint, 0.15, 4.0, 0.35, 48)
 	prevSMTL := 0
 	peak := 0.0
 	for _, p := range pts {
@@ -112,7 +136,7 @@ func TestFig13ShapeInvariants(t *testing.T) {
 }
 
 func TestFig13ModelTracksMeasurement(t *testing.T) {
-	pts := Fig13Sweep(env(t), workload.Footprint, 0.2, 3.2, 0.5, 48)
+	pts := sweep(t, workload.Footprint, 0.2, 3.2, 0.5, 48)
 	for _, p := range pts {
 		if p.MeasuredError > 0.10 {
 			t.Errorf("ratio %.2f: model error %.1f%%, want <= 10%%", p.Ratio, 100*p.MeasuredError)
@@ -121,7 +145,7 @@ func TestFig13ModelTracksMeasurement(t *testing.T) {
 }
 
 func TestFig13cOverflows(t *testing.T) {
-	pts := Fig13Sweep(env(t), 2<<20, 0.4, 0.6, 0.2, 48)
+	pts := sweep(t, 2<<20, 0.4, 0.6, 0.2, 48)
 	sawMiss := false
 	for _, p := range pts {
 		if p.MissFraction > 0 {
@@ -284,7 +308,10 @@ func TestFig18SMTRowsPresent(t *testing.T) {
 }
 
 func TestModelErrorX2Summary(t *testing.T) {
-	tab := ModelErrorX2(env(t))
+	tab, err := ModelErrorX2(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 1 {
 		t.Fatal("X2 shape")
 	}
@@ -295,7 +322,11 @@ func TestModelErrorX2Summary(t *testing.T) {
 }
 
 func TestSyntheticPeakHelper(t *testing.T) {
-	if p := SyntheticPeak(env(t)); p < 1.1 || p > 1.3 {
+	p, err := SyntheticPeak(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1.1 || p > 1.3 {
 		t.Errorf("SyntheticPeak = %.3f outside the paper band", p)
 	}
 }
@@ -331,6 +362,45 @@ func TestNoiseSensitivityShape(t *testing.T) {
 	sLast := parseF(t, tab.Rows[len(tab.Rows)-1][1])
 	if sLast >= sFirst {
 		t.Errorf("offline speedup did not fall with noise: %.3f -> %.3f", sFirst, sLast)
+	}
+}
+
+func TestRobustnessR1Shape(t *testing.T) {
+	tab, err := RobustnessR1(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("R1 rows = %d, want 4", len(tab.Rows))
+	}
+	clean := parseF(t, tab.Rows[0][1])
+	for _, r := range tab.Rows {
+		s := parseF(t, r[1])
+		// The guard must keep corrupted runs from collapsing: the
+		// throttled schedule still clearly beats conventional and
+		// stays near the clean controller.
+		if s < 1.05 {
+			t.Errorf("%s: speedup %.3f no longer beats conventional", r[0], s)
+		}
+		if s < clean-0.10 {
+			t.Errorf("%s: speedup %.3f collapsed below clean %.3f", r[0], s, clean)
+		}
+		mtl := parseF(t, r[3])
+		if mtl < 1 || mtl > 4 {
+			t.Errorf("%s: final MTL %s out of range", r[0], r[3])
+		}
+	}
+	// Clean row: guard is a strict no-op.
+	if tab.Rows[0][5] != "0" || tab.Rows[0][6] != "0" {
+		t.Errorf("clean run clamped/dropped samples: %v", tab.Rows[0])
+	}
+	// Spiked rows must show winsorization at work.
+	if parseF(t, tab.Rows[2][5]) == 0 {
+		t.Errorf("20%% spike run clamped nothing: %v", tab.Rows[2])
+	}
+	// NaN row must show drops.
+	if parseF(t, tab.Rows[3][6]) == 0 {
+		t.Errorf("NaN run dropped nothing: %v", tab.Rows[3])
 	}
 }
 

@@ -29,9 +29,12 @@ type Fig13Point struct {
 // ratio point fans out across the environment's worker budget and the
 // points are assembled in ratio order, so the output is identical to
 // the serial sweep.
-func Fig13Sweep(e Env, footprint float64, lo, hi, step float64, pairs int) []Fig13Point {
+//
+// A malformed sweep range is a caller error reported as such — this is
+// library surface reached from CLI flags, so it must not panic.
+func Fig13Sweep(e Env, footprint float64, lo, hi, step float64, pairs int) ([]Fig13Point, error) {
 	if step <= 0 || lo <= 0 || hi < lo {
-		panic(fmt.Sprintf("experiments: bad sweep [%g, %g] step %g", lo, hi, step))
+		return nil, fmt.Errorf("experiments: bad sweep [%g, %g] step %g", lo, hi, step)
 	}
 	lib := e.Lib()
 	cfg := e.Cfg()
@@ -45,7 +48,7 @@ func Fig13Sweep(e Env, footprint float64, lo, hi, step float64, pairs int) []Fig
 		ratios = append(ratios, ratio)
 	}
 
-	return parallel.Map(e.jobs(), len(ratios), func(i int) Fig13Point {
+	pts := parallel.Map(e.jobs(), len(ratios), func(i int) Fig13Point {
 		ratio := ratios[i]
 		prog := lib.Synthetic(ratio, footprint, pairs)
 
@@ -75,12 +78,16 @@ func Fig13Sweep(e Env, footprint float64, lo, hi, step float64, pairs int) []Fig
 		p.MeasuredError = stats.RelErr(p.Model, p.Measured)
 		return p
 	})
+	return pts, nil
 }
 
 // Fig13 renders a sweep as a table. Footprints of 0.5, 1 and 2 MB
 // correspond to Fig. 13(a), (b) and (c).
-func Fig13(e Env, footprint float64, lo, hi, step float64, pairs int) Table {
-	pts := Fig13Sweep(e, footprint, lo, hi, step, pairs)
+func Fig13(e Env, footprint float64, lo, hi, step float64, pairs int) (Table, error) {
+	pts, err := Fig13Sweep(e, footprint, lo, hi, step, pairs)
+	if err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		ID:    fmt.Sprintf("F13(%.1fMB)", footprint/(1<<20)),
 		Title: "Synthetic workload speedup sweep: measured vs analytical model",
@@ -100,14 +107,17 @@ func Fig13(e Env, footprint float64, lo, hi, step float64, pairs int) Table {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("peak measured speedup %.3fx (paper: up to ~1.21x)", maxS),
 		fmt.Sprintf("mean |model-measured| error %s", pct(stats.Mean(errs))))
-	return t
+	return t, nil
 }
 
 // ModelErrorX2 summarises the corroboration of the analytical model
 // (§VI-A): error statistics of model vs measured speedup across the
 // Fig. 13(a) sweep.
-func ModelErrorX2(e Env) Table {
-	pts := Fig13Sweep(e, 512<<10, 0.1, 4.0, 0.1, 64)
+func ModelErrorX2(e Env) (Table, error) {
+	pts, err := Fig13Sweep(e, 512<<10, 0.1, 4.0, 0.1, 64)
+	if err != nil {
+		return Table{}, err
+	}
 	var errs []float64
 	for _, p := range pts {
 		errs = append(errs, p.MeasuredError)
@@ -126,5 +136,5 @@ func ModelErrorX2(e Env) Table {
 	t.AddRow(fmt.Sprintf("%d", len(errs)), pct(stats.Mean(errs)),
 		pct(stats.Median(errs)), pct(maxE))
 	t.Notes = append(t.Notes, "paper: 'the speedup estimated by the analytical model matches well'")
-	return t
+	return t, nil
 }

@@ -22,11 +22,15 @@ var update = flag.Bool("update", false, "rewrite golden figure output files")
 // byte-for-byte against the committed goldens.
 func TestFigureOutputsMatchGolden(t *testing.T) {
 	e := freshEnv(t, 4)
+	f13, err := Fig13(e, 512<<10, 0.3, 1.5, 0.4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
 	builds := []struct {
 		name string
 		tab  Table
 	}{
-		{"F13-quick", Fig13(e, 512<<10, 0.3, 1.5, 0.4, 32)},
+		{"F13-quick", f13},
 		{"F14", Fig14(e)},
 	}
 	formats := []struct{ format, ext string }{{"text", "txt"}, {"json", "json"}}

@@ -32,7 +32,13 @@ func TestParallelTablesByteIdentical(t *testing.T) {
 		name string
 		run  func(Env) Table
 	}{
-		{"F13-quick", func(e Env) Table { return Fig13(e, 512<<10, 0.3, 1.5, 0.4, 32) }},
+		{"F13-quick", func(e Env) Table {
+			tab, err := Fig13(e, 512<<10, 0.3, 1.5, 0.4, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tab
+		}},
 		{"F14", Fig14},
 	}
 	for _, b := range builds {

@@ -13,10 +13,39 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// Panic is the value Map re-raises when a job panics on a worker
+// goroutine. It carries the worker's stack captured at recover time:
+// by the time the panic surfaces on the calling goroutine the worker
+// is gone, and without this the trace of the actual failure site would
+// be lost. Single-worker (inline) execution panics on the caller's own
+// stack and is not wrapped.
+type Panic struct {
+	Value any    // the job's original panic value
+	Stack []byte // debug.Stack() of the panicking worker
+}
+
+// Error makes a re-raised Panic readable when recovered as an error.
+func (p Panic) Error() string {
+	return fmt.Sprintf("parallel: job panicked: %v\n\nworker stack:\n%s", p.Value, p.Stack)
+}
+
+// String mirrors Error for %v formatting of the raw panic value.
+func (p Panic) String() string { return p.Error() }
+
+// Unwrap exposes an underlying error panic value to errors.Is/As.
+func (p Panic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // defaultWorkers is the process-wide fallback worker count; 0 means
 // "resolve to GOMAXPROCS at use time".
@@ -52,8 +81,8 @@ func Workers(n int) int {
 // Map runs fn(i) for every i in [0, n) on at most workers goroutines
 // (workers <= 0 resolves via Workers) and returns the results in index
 // order. A panic in any job is re-raised on the calling goroutine
-// after the pool drains; jobs not yet started when a panic occurs are
-// skipped.
+// after the pool drains, wrapped in a Panic that carries the worker's
+// stack; jobs not yet started when a panic occurs are skipped.
 func Map[T any](workers, n int, fn func(int) T) []T {
 	if n <= 0 {
 		return nil
@@ -88,9 +117,17 @@ func Map[T any](workers, n int, fn func(int) T) []T {
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
+							// Capture the stack here, on the dying
+							// worker; don't re-wrap a Panic from a
+							// nested Map, whose stack is the one that
+							// matters.
+							pv, ok := r.(Panic)
+							if !ok {
+								pv = Panic{Value: r, Stack: debug.Stack()}
+							}
 							panicMu.Lock()
 							if !panicked.Load() {
-								panicVal = r
+								panicVal = pv
 								panicked.Store(true)
 							}
 							panicMu.Unlock()

@@ -1,7 +1,9 @@
 package parallel
 
 import (
+	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -67,8 +69,20 @@ func TestMapPanicPropagates(t *testing.T) {
 		if r == nil {
 			t.Fatal("worker panic not propagated")
 		}
-		if s, ok := r.(string); !ok || s != "boom" {
-			t.Fatalf("panic value = %v, want boom", r)
+		p, ok := r.(Panic)
+		if !ok {
+			t.Fatalf("panic value = %T(%v), want parallel.Panic", r, r)
+		}
+		if s, ok := p.Value.(string); !ok || s != "boom" {
+			t.Fatalf("wrapped panic value = %v, want boom", p.Value)
+		}
+		// The stack must be the worker's, captured at recover time:
+		// it names the panicking job, not just Map's caller.
+		if !strings.Contains(string(p.Stack), "parallel_test.go") {
+			t.Errorf("worker stack does not reach the job:\n%s", p.Stack)
+		}
+		if !strings.Contains(p.Error(), "boom") {
+			t.Errorf("Panic.Error() lacks the value: %s", p.Error())
 		}
 	}()
 	Map(4, 16, func(i int) int {
@@ -76,6 +90,42 @@ func TestMapPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 		return i
+	})
+}
+
+// TestMapPanicWrapsError: error panic values stay reachable through
+// errors.Is on the wrapper.
+func TestMapPanicWrapsError(t *testing.T) {
+	sentinel := errors.New("job exploded")
+	defer func() {
+		p, ok := recover().(Panic)
+		if !ok {
+			t.Fatal("no Panic propagated")
+		}
+		if !errors.Is(p, sentinel) {
+			t.Errorf("errors.Is cannot see the panic error through Panic")
+		}
+	}()
+	Map(2, 4, func(i int) int { panic(sentinel) })
+}
+
+// TestMapNestedPanicNotRewrapped: a Panic crossing a nested Map keeps
+// the innermost worker's stack.
+func TestMapNestedPanicNotRewrapped(t *testing.T) {
+	defer func() {
+		p, ok := recover().(Panic)
+		if !ok {
+			t.Fatal("no Panic propagated")
+		}
+		if _, nested := p.Value.(Panic); nested {
+			t.Error("Panic was double-wrapped crossing nested Map")
+		}
+		if s, _ := p.Value.(string); s != "inner boom" {
+			t.Errorf("inner panic value lost: %v", p.Value)
+		}
+	}()
+	Map(2, 2, func(i int) int {
+		return Map(2, 2, func(j int) int { panic("inner boom") })[0]
 	})
 }
 

@@ -240,28 +240,49 @@ func Run(prog *stream.Program, cfg Config, th core.Throttler) Result {
 	return r.res
 }
 
-// decisions extracts the D-MTL history from adaptive throttlers.
+// unwrapper lets decorating throttlers (fault injectors, corrupting
+// measurement proxies) expose the adaptive policy they wrap so its
+// decision history still reaches the Result.
+type unwrapper interface{ Unwrap() core.Throttler }
+
+// decisions extracts the D-MTL history from adaptive throttlers,
+// looking through any decorator chain.
 func decisions(th core.Throttler) []int {
-	switch t := th.(type) {
-	case *core.Dynamic:
-		return append([]int(nil), t.History...)
-	case *core.OnlineExhaustive:
-		return append([]int(nil), t.History...)
-	default:
-		return nil
+	for th != nil {
+		switch t := th.(type) {
+		case *core.Dynamic:
+			return append([]int(nil), t.History...)
+		case *core.OnlineExhaustive:
+			return append([]int(nil), t.History...)
+		default:
+			u, ok := th.(unwrapper)
+			if !ok {
+				return nil
+			}
+			th = u.Unwrap()
+		}
 	}
+	return nil
 }
 
-// probes extracts the probe-window count from adaptive throttlers.
+// probes extracts the probe-window count from adaptive throttlers,
+// looking through any decorator chain.
 func probes(th core.Throttler) int {
-	switch t := th.(type) {
-	case *core.Dynamic:
-		return t.TotalProbes
-	case *core.OnlineExhaustive:
-		return t.TotalProbes
-	default:
-		return 0
+	for th != nil {
+		switch t := th.(type) {
+		case *core.Dynamic:
+			return t.TotalProbes
+		case *core.OnlineExhaustive:
+			return t.TotalProbes
+		default:
+			u, ok := th.(unwrapper)
+			if !ok {
+				return 0
+			}
+			th = u.Unwrap()
+		}
 	}
+	return 0
 }
 
 // enterPhase queues every task pair of phase p and dispatches workers.

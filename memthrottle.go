@@ -160,5 +160,5 @@ func RunExperiment(env ExperimentEnv, id string) (ExperimentTable, error) {
 	if !ok {
 		return ExperimentTable{}, fmt.Errorf("memthrottle: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
-	return spec.Run(env), nil
+	return spec.Run(env)
 }
