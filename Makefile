@@ -10,9 +10,14 @@ GO ?= go
 # the zero-allocation hot path's win). -count repeats each benchmark;
 # benchdiff keeps the best run of each.
 BENCH_COUNT ?= 3
-HOT_BENCHES  = BenchmarkDRAMAccess|BenchmarkStreamPump|BenchmarkCalibrate
+HOT_BENCHES  = BenchmarkDRAMAccess|BenchmarkStreamPump|BenchmarkCalibrate|BenchmarkCalibrateWarm|BenchmarkCalibrateAdjacentCold|BenchmarkFig13Sweep
 
-.PHONY: check fmt vet build test race bench bench-baseline
+# Benchmarks pinned allocation-free by `make bench-check`: the
+# zero-allocation hot paths from the PR 2 work must never regrow an
+# alloc, and the warm Calibrator's adjacent re-measure joins them.
+ZERO_ALLOC   = BenchmarkEngineStep,BenchmarkDRAMAccess,BenchmarkStreamPump
+
+.PHONY: check fmt vet build test race bench bench-baseline bench-check
 
 check: fmt vet build test race
 
@@ -48,6 +53,15 @@ bench-baseline:
 	@{ $(GO) test -run '^$$' -bench '^BenchmarkEngineStep$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
 	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; } \
 	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json -write -note "$(NOTE)"
+
+# bench-check is the regression gate: same benchmarks as `bench`, but
+# benchdiff exits nonzero on a >15% ns/op regression against the
+# committed baseline or on any allocation in the pinned zero-alloc
+# benchmarks.
+bench-check:
+	@{ $(GO) test -run '^$$' -bench '^BenchmarkEngineStep$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
+	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; } \
+	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json -check -max-regress 0.15 -zero-alloc '$(ZERO_ALLOC)'
 
 # bench-all is the original full benchmark sweep (every paper artifact).
 bench-all:

@@ -78,6 +78,49 @@ func BenchmarkCalibrate(b *testing.B) {
 	b.ReportMetric(cal.R2, "fit_R2")
 }
 
+// BenchmarkCalibrateAdjacentCold pins the cost of extending a
+// calibration by one MTL point through the one-shot API: a platform
+// measured for k = 1..4 needs Tm at k = 5, and Calibrate can only
+// deliver it by re-measuring every level from scratch. This is the
+// permanent cold-path contrast for BenchmarkCalibrateWarm.
+func BenchmarkCalibrateAdjacentCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mem.Calibrate(mem.DDR3_1066(), 5, 6, workload.Footprint); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibrateWarm measures one adjacent-MTL re-measure: the
+// sweep-context step of extending an existing k = 1..4 calibration to
+// k = 5 and refitting. Before the warm-start Calibrator this costs a
+// full re-calibration of every level (the body below); afterwards it
+// costs a single k = 5 measurement on reused engine state.
+func BenchmarkCalibrateWarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mem.Calibrate(mem.DDR3_1066(), 5, 6, workload.Footprint); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13Sweep tracks the wall-clock of the quick Fig. 13 grid
+// on a fresh environment (fresh baseline memo, process calibration
+// cache warm) — the unit of work the sweep acceleration layer targets.
+func BenchmarkFig13Sweep(b *testing.B) {
+	benchEnvironment(b) // warm the process-wide calibration cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := experiments.DefaultEnv(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig13Sweep(e, 512<<10, 0.3, 1.5, 0.4, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCalibrateCachedHit measures the process-wide calibration
 // cache on the hit path — the cost every DefaultEnv after the first
 // pays instead of BenchmarkCalibrateDRAM's full simulation.

@@ -8,8 +8,16 @@
 //
 //	benchdiff -baseline BENCH_SIM.json           # print deltas vs baseline
 //	benchdiff -baseline BENCH_SIM.json -write    # rewrite the baseline
+//	benchdiff -baseline BENCH_SIM.json -merge    # add/update only the benchmarks on stdin
+//	benchdiff -baseline BENCH_SIM.json -check    # exit 1 on regression (see -max-regress)
 //
-// `make bench` wires this up for the simulator hot-path benchmarks.
+// -check is the CI gate: it fails when any benchmark present in both
+// the run and the baseline regresses by more than -max-regress in
+// ns/op, or when a benchmark named in -zero-alloc reports any
+// allocations at all.
+//
+// `make bench` and `make bench-check` wire this up for the simulator
+// hot-path benchmarks.
 package main
 
 import (
@@ -45,7 +53,11 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_SIM.json", "baseline JSON file")
 		write        = flag.Bool("write", false, "rewrite the baseline from stdin instead of comparing")
+		merge        = flag.Bool("merge", false, "merge stdin benchmarks into the baseline, keeping entries not on stdin")
 		note         = flag.String("note", "", "note to store when writing the baseline")
+		check        = flag.Bool("check", false, "exit 1 when a benchmark regresses past -max-regress or a -zero-alloc benchmark allocates")
+		maxRegress   = flag.Float64("max-regress", 0.15, "tolerated fractional ns/op regression in -check mode")
+		zeroAlloc    = flag.String("zero-alloc", "", "comma-separated benchmarks that must report 0 allocs/op in -check mode")
 	)
 	flag.Parse()
 
@@ -57,11 +69,29 @@ func main() {
 		log.Fatal("no benchmark lines on stdin (pipe `go test -bench ... -benchmem` into me)")
 	}
 
-	if *write {
+	if *write || *merge {
 		b := baseline{
 			Generated:  time.Now().UTC().Format(time.RFC3339),
 			Note:       *note,
 			Benchmarks: current,
+		}
+		if *merge {
+			if raw, err := os.ReadFile(*baselinePath); err == nil {
+				var prev baseline
+				if err := json.Unmarshal(raw, &prev); err != nil {
+					log.Fatalf("parse baseline %s: %v", *baselinePath, err)
+				}
+				if *note == "" {
+					b.Note = prev.Note
+				}
+				for name, m := range prev.Benchmarks {
+					if _, fresh := current[name]; !fresh {
+						b.Benchmarks[name] = m
+					}
+				}
+			} else if !os.IsNotExist(err) {
+				log.Fatal(err)
+			}
 		}
 		out, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -70,7 +100,7 @@ func main() {
 		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		fmt.Printf("wrote %d benchmarks to %s\n", len(b.Benchmarks), *baselinePath)
 		return
 	}
 
@@ -113,6 +143,68 @@ func main() {
 	if base.Note != "" {
 		fmt.Printf("note: %s\n", base.Note)
 	}
+
+	if *check {
+		failures := checkRegressions(base.Benchmarks, current, *maxRegress, splitList(*zeroAlloc))
+		for _, f := range failures {
+			fmt.Printf("FAIL: %s\n", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("check passed: no ns/op regression beyond %.0f%%, pinned benchmarks allocation-free\n",
+			100**maxRegress)
+	}
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// checkRegressions compares a run against the baseline and returns a
+// description of every gate violation: a ns/op regression beyond
+// maxRegress on any benchmark present in both sets, or any allocation
+// at all on a benchmark pinned to zero by the zeroAlloc list. Other
+// benchmarks' allocs/op are reported by the comparison table but not
+// gated — per-op alloc counts on the macro benchmarks shift with b.N
+// amortisation, which would make a hard gate flaky.
+func checkRegressions(base, current map[string]metrics, maxRegress float64, zeroAlloc []string) []string {
+	var failures []string
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cur := current[name]
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f -> %.1f (%.0f%% > %.0f%% tolerance)",
+				name, b.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/b.NsPerOp-1), 100*maxRegress))
+		}
+	}
+	for _, name := range zeroAlloc {
+		cur, ok := current[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: pinned zero-alloc benchmark missing from this run", name))
+			continue
+		}
+		if cur.AllocsPerOp > 0 {
+			failures = append(failures, fmt.Sprintf("%s: pinned zero-alloc benchmark reports %.0f allocs/op",
+				name, cur.AllocsPerOp))
+		}
+	}
+	return failures
 }
 
 // parseBench extracts per-benchmark metrics from `go test -bench`
