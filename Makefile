@@ -36,10 +36,13 @@ test:
 
 # The race pass re-runs the concurrency-heavy packages — the host
 # runtime (worker pool, watchdog, cancellation, chaos suite) and the
-# parallel run engine — under the race detector. The rest of the tree
-# is single-goroutine simulation already covered by `test`.
+# parallel run engine — under the race detector, plus the persistent
+# result cache's concurrent-writer suite (shared by mtlbench -j
+# fan-outs). The rest of the tree is single-goroutine simulation
+# already covered by `test`.
 race:
 	$(GO) test -race ./host/... ./internal/parallel/...
+	$(GO) test -race -run 'DiskCache|Cached' ./internal/experiments
 
 # bench runs the simulator hot-path benchmarks and reports deltas
 # against the committed baseline. bench-baseline rewrites the baseline

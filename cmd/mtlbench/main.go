@@ -59,6 +59,10 @@ func run() error {
 		step       = flag.Float64("step", 0, "override the Fig. 13 ratio step (paper: 0.01)")
 		format     = flag.String("format", "text", "output format: text | csv | json")
 		jobs       = flag.Int("j", 0, "worker goroutines for independent runs (default: GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", "", "persist results (calibrations, baselines, finished experiments) in this directory")
+		noCache    = flag.Bool("no-cache", false, "ignore -cache-dir: compute everything, write nothing")
+		warmCal    = flag.Bool("warmcal", false, "calibrate through the warm-start calibrator (bit-identical, one reused engine per DRAM config)")
+		adaptive   = flag.Bool("adaptive", false, "run Fig. 13 sweeps in coarse-to-fine D-MTL mode (fast preview; not golden output)")
 		timings    = flag.String("timings", "", "write a per-experiment wall-clock snapshot to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file")
@@ -103,9 +107,21 @@ func run() error {
 		}
 	}
 
+	// The cache directory is validated before any simulation so an
+	// unusable path (exists but is a file, not writable, ...) fails in
+	// milliseconds with a clear message, not after calibration.
+	opt := experiments.Options{WarmCal: *warmCal}
+	if *cacheDir != "" && !*noCache {
+		cache, err := experiments.OpenDiskCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Cache = cache
+	}
+
 	parallel.SetDefault(*jobs)
 	t0 := time.Now()
-	env, err := experiments.DefaultEnv(*quick)
+	env, err := experiments.NewEnv(*quick, opt)
 	if err != nil {
 		return err
 	}
@@ -116,25 +132,38 @@ func run() error {
 		float64(env.Cal1.Tm[3])/float64(env.Cal1.Tm[0]),
 		parallel.Workers(*jobs))
 
+	// Fig. 13 sweeps honour the -step and -adaptive overrides; the
+	// override string doubles as the cache-key discriminator so a
+	// customised sweep never serves (or poisons) the default entry.
+	fig13Footprint := map[string]float64{"F13a": 512 << 10, "F13b": 1 << 20, "F13c": 2 << 20}
+	const adaptiveCoarse = 4 // refine every 4th grid point first
+
 	elapsed := make(map[string]float64)
 	runOne := func(s experiments.Spec) error {
 		t1 := time.Now()
-		var tab experiments.Table
-		var runErr error
-		if *step > 0 {
-			switch s.ID {
-			case "F13a":
-				tab, runErr = experiments.Fig13(env, 512<<10, 0.05, 4.0, *step, 64)
-			case "F13b":
-				tab, runErr = experiments.Fig13(env, 1<<20, 0.05, 4.0, *step, 64)
-			case "F13c":
-				tab, runErr = experiments.Fig13(env, 2<<20, 0.05, 4.0, *step, 64)
-			default:
-				tab, runErr = s.Run(env)
+		run := func() (experiments.Table, error) { return s.Run(env) }
+		var params string
+		if fp, ok := fig13Footprint[s.ID]; ok && (*step > 0 || *adaptive) {
+			lo, hi, st := 0.1, 4.0, 0.1 // the catalog grid
+			if *step > 0 {
+				lo, st = 0.05, *step
+				params = fmt.Sprintf("step=%g", *step)
 			}
-		} else {
-			tab, runErr = s.Run(env)
+			if *adaptive {
+				if params != "" {
+					params += ","
+				}
+				params += fmt.Sprintf("adaptive=%d", adaptiveCoarse)
+				run = func() (experiments.Table, error) {
+					return experiments.Fig13Adaptive(env, fp, lo, hi, st, 64, adaptiveCoarse)
+				}
+			} else {
+				run = func() (experiments.Table, error) {
+					return experiments.Fig13(env, fp, lo, hi, st, 64)
+				}
+			}
 		}
+		tab, runErr := env.RunCached(s.ID, params, run)
 		if runErr != nil {
 			return fmt.Errorf("%s: %w", s.ID, runErr)
 		}
@@ -156,6 +185,11 @@ func run() error {
 		}
 	} else if err := runOne(only); err != nil {
 		return err
+	}
+
+	if c := env.Cache(); c != nil {
+		hits, misses, evicted := c.Stats()
+		fmt.Printf("cache %s: %d hits, %d misses (%d evicted)\n", c.Dir(), hits, misses, evicted)
 	}
 
 	if *timings != "" {

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAdaptiveSweepGridAlignmentAndSavings pins the adaptive contract:
+// every evaluated ratio lies exactly on the exhaustive grid, the
+// refinement spends strictly fewer (ratio, MTL) simulation cells than
+// the exhaustive sweep, and the per-cell values it does compute agree
+// with the exhaustive sweep bit for bit.
+func TestAdaptiveSweepGridAlignmentAndSavings(t *testing.T) {
+	e := freshEnv(t, 4)
+	const lo, hi, step = 0.3, 1.5, 0.4
+	exact, err := Fig13Sweep(e, 512<<10, lo, hi, step, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, st, err := Fig13SweepAdaptive(e, 512<<10, lo, hi, step, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Probes >= st.ExhaustiveCells {
+		t.Errorf("adaptive spent %d cells, exhaustive budget is %d", st.Probes, st.ExhaustiveCells)
+	}
+	if st.GridPoints != len(exact) {
+		t.Errorf("grid points = %d, exhaustive sweep has %d", st.GridPoints, len(exact))
+	}
+	if st.Evaluated != len(pts) {
+		t.Errorf("stats report %d evaluated points, sweep returned %d", st.Evaluated, len(pts))
+	}
+	byRatio := make(map[float64]Fig13Point, len(exact))
+	for _, p := range exact {
+		byRatio[p.Ratio] = p
+	}
+	for _, p := range pts {
+		ex, ok := byRatio[p.Ratio]
+		if !ok {
+			t.Errorf("ratio %v is not on the exhaustive grid", p.Ratio)
+			continue
+		}
+		// Cells the adaptive point did simulate must agree exactly
+		// with the exhaustive sweep (same seeds, same methodology).
+		for k0, s := range p.SpeedupByMTL {
+			if s != 0 && s != ex.SpeedupByMTL[k0] {
+				t.Errorf("ratio %v MTL %d: adaptive speedup %v, exhaustive %v",
+					p.Ratio, k0+1, s, ex.SpeedupByMTL[k0])
+			}
+		}
+		// The D-MTL pick may legitimately differ from the measured
+		// argmax (it is the model's choice between the NoIdle/Idle
+		// candidates), but it must stay within the machine's range and
+		// its speedup must be the one measured at that MTL.
+		if p.SMTL < 1 || p.SMTL > len(p.SpeedupByMTL) {
+			t.Errorf("ratio %v: D-MTL %d out of range", p.Ratio, p.SMTL)
+		}
+		if p.Measured != p.SpeedupByMTL[p.SMTL-1] {
+			t.Errorf("ratio %v: Measured %v != speedup at D-MTL %v",
+				p.Ratio, p.Measured, p.SpeedupByMTL[p.SMTL-1])
+		}
+	}
+	// The contended region's crossover bracket must be represented:
+	// both endpoints of the grid are always present.
+	if pts[0].Ratio != exact[0].Ratio || pts[len(pts)-1].Ratio != exact[len(exact)-1].Ratio {
+		t.Errorf("adaptive sweep dropped a grid endpoint: first %v last %v",
+			pts[0].Ratio, pts[len(pts)-1].Ratio)
+	}
+	if s := st.Savings(); s <= 0 || s >= 1 || math.IsNaN(s) {
+		t.Errorf("savings = %v, want in (0, 1)", s)
+	}
+}
+
+// TestAdaptiveSweepDeterministic asserts worker-count independence:
+// the refinement decisions and every reported number must be identical
+// from a serial and a fanned-out environment.
+func TestAdaptiveSweepDeterministic(t *testing.T) {
+	serial := freshEnv(t, 1)
+	par := freshEnv(t, 4)
+	a, sa, err := Fig13SweepAdaptive(serial, 512<<10, 0.3, 1.5, 0.4, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := Fig13SweepAdaptive(par, 512<<10, 0.3, 1.5, 0.4, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Errorf("stats differ: serial %+v, parallel %+v", sa, sb)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("serial evaluated %d points, parallel %d", len(a), len(b))
+	}
+	for i := range a {
+		pa, pb := a[i], b[i]
+		if pa.Ratio != pb.Ratio || pa.SMTL != pb.SMTL || pa.Measured != pb.Measured ||
+			pa.Model != pb.Model || pa.MissFraction != pb.MissFraction {
+			t.Errorf("point %d differs: serial %+v, parallel %+v", i, pa, pb)
+		}
+	}
+}
+
+// TestAdaptiveSweepBadArgs covers the CLI-reachable error surface.
+func TestAdaptiveSweepBadArgs(t *testing.T) {
+	e := freshEnv(t, 1)
+	if _, _, err := Fig13SweepAdaptive(e, 512<<10, 0.3, 1.5, 0, 32, 2); err == nil {
+		t.Error("accepted step = 0")
+	}
+	if _, _, err := Fig13SweepAdaptive(e, 512<<10, 0.3, 1.5, 0.4, 32, 1); err == nil {
+		t.Error("accepted coarse factor = 1")
+	}
+	if _, err := Fig13Adaptive(e, 512<<10, 1.5, 0.3, 0.4, 32, 4); err == nil {
+		t.Error("Fig13Adaptive accepted hi < lo")
+	}
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// probeKey/probeVal are minimal key/value shapes for cache unit tests.
+type probeKey struct {
+	Version string
+	Name    string
+	N       int
+}
+
+type probeVal struct {
+	X float64
+	S []string
+}
+
+func TestDiskCacheHitMiss(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := probeKey{Version: cacheVersion, Name: "hitmiss", N: 7}
+	var got probeVal
+	if c.Get(key, &got) {
+		t.Fatal("hit on an empty cache")
+	}
+	want := probeVal{X: 0.1 + 0.2, S: []string{"a", "b"}} // non-representable float must round-trip
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(key, &got) {
+		t.Fatal("miss after Put")
+	}
+	if got.X != want.X || len(got.S) != 2 || got.S[0] != "a" || got.S[1] != "b" {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	// A different key must miss even with the value present.
+	other := key
+	other.N++
+	if c.Get(other, &got) {
+		t.Fatal("hit on a key that was never Put")
+	}
+	hits, misses, evicted := c.Stats()
+	if hits != 1 || misses != 2 || evicted != 0 {
+		t.Errorf("stats = (%d, %d, %d), want (1, 2, 0)", hits, misses, evicted)
+	}
+}
+
+func TestDiskCachePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	key := probeKey{Version: cacheVersion, Name: "persist", N: 1}
+	c1, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(key, probeVal{X: 42}); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenDiskCache(dir) // a fresh process would do exactly this
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got probeVal
+	if !c2.Get(key, &got) || got.X != 42 {
+		t.Fatalf("second open: got (%v, %+v), want hit with X=42", got.X == 42, got)
+	}
+}
+
+// TestDiskCacheCorruptEntry pins the recovery contract: an entry that
+// no longer parses is dropped and recomputed, never served or fatal.
+func TestDiskCacheCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := probeKey{Version: cacheVersion, Name: "corrupt", N: 1}
+	if err := c.Put(key, probeVal{X: 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries = %v, err = %v, want exactly 1 file", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got probeVal
+	if c.Get(key, &got) {
+		t.Fatal("hit on a corrupt entry")
+	}
+	if _, err := os.Stat(entries[0]); !os.IsNotExist(err) {
+		t.Error("corrupt entry was not removed")
+	}
+	if _, _, evicted := c.Stats(); evicted != 1 {
+		t.Errorf("evicted = %d, want 1", evicted)
+	}
+}
+
+// TestDiskCacheStaleKeyEntry covers the fingerprint-mismatch path: a
+// file whose embedded key does not match the requested key (a stale
+// entry from an older key layout landing on the same name, or a
+// hash collision) must be evicted, not served.
+func TestDiskCacheStaleKeyEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := probeKey{Version: cacheVersion, Name: "stale", N: 1}
+	keyJSON, err := json.Marshal(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleKey, err := json.Marshal(probeKey{Version: "mtl-cache-v0", Name: "stale", N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valJSON, err := json.Marshal(probeVal{X: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := json.Marshal(envelope{Key: staleKey, Value: valJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant the stale envelope under the CURRENT key's filename.
+	if err := os.WriteFile(c.path(keyJSON), env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got probeVal
+	if c.Get(key, &got) {
+		t.Fatal("stale-key entry served as a hit")
+	}
+	if _, err := os.Stat(c.path(keyJSON)); !os.IsNotExist(err) {
+		t.Error("stale-key entry was not evicted")
+	}
+}
+
+// TestDiskCacheConcurrentWriters hammers one directory from many
+// goroutines mixing Get and Put of overlapping keys; under -race this
+// also proves the atomic-rename protocol publishes only whole files.
+func TestDiskCacheConcurrentWriters(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const keys = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := probeKey{Version: cacheVersion, Name: "conc", N: (w + i) % keys}
+				want := probeVal{X: float64(k.N)}
+				if err := c.Put(k, want); err != nil {
+					errs <- err
+					return
+				}
+				var got probeVal
+				if c.Get(k, &got) && got.X != want.X {
+					errs <- fmt.Errorf("key %d read %v, want %v", k.N, got.X, want.X)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(c.Dir(), "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != keys {
+		t.Errorf("directory holds %d files, want %d (no temp-file litter)", len(entries), keys)
+	}
+}
+
+// TestOpenDiskCacheRejectsUnusableDir is the -cache-dir validation
+// surface: paths that exist but are not directories (and, for
+// non-root runs, directories without write permission) must fail with
+// a clear error at open time.
+func TestOpenDiskCacheRejectsUnusableDir(t *testing.T) {
+	if _, err := OpenDiskCache(""); err == nil {
+		t.Error("OpenDiskCache accepted an empty path")
+	}
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskCache(file); err == nil {
+		t.Error("OpenDiskCache accepted a path occupied by a regular file")
+	}
+	// A file also blocks MkdirAll of children below it.
+	if _, err := OpenDiskCache(filepath.Join(file, "sub")); err == nil {
+		t.Error("OpenDiskCache accepted a path below a regular file")
+	}
+	if os.Geteuid() != 0 {
+		ro := filepath.Join(t.TempDir(), "ro")
+		if err := os.Mkdir(ro, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenDiskCache(ro); err == nil {
+			t.Error("OpenDiskCache accepted a read-only directory")
+		}
+	}
+}
+
+// TestEnvCachedRunsByteIdentical is the end-to-end cache contract:
+// an experiment computed cold, recomputed through a cold disk cache,
+// and served from the warm cache must render byte-identically in every
+// format — including a cache re-opened the way a new process would.
+func TestEnvCachedRunsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := freshEnv(t, 2)
+	cached, err := NewEnv(true, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = cached.WithWorkers(2)
+
+	run := func(e Env) Table {
+		tab, err := e.RunCached("F14-test", "", func() (Table, error) { return Fig14(e), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	cold := run(plain)
+	diskCold := run(cached)
+	diskWarm := run(cached)
+
+	reopened, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewEnv(true, Options{Cache: reopened})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskReopen := run(other.WithWorkers(2))
+
+	for _, format := range []string{"text", "json", "csv"} {
+		want, err := cold.Render(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, tab := range map[string]Table{
+			"disk-cold": diskCold, "disk-warm": diskWarm, "disk-reopen": diskReopen,
+		} {
+			got, err := tab.Render(format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s %s render differs from cold run\n--- got ---\n%s\n--- want ---\n%s",
+					name, format, got, want)
+			}
+		}
+	}
+	if hits, _, _ := reopened.Stats(); hits == 0 {
+		t.Error("re-opened cache served no hits")
+	}
+}

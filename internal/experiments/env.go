@@ -52,6 +52,24 @@ type Env struct {
 	// memo caches conventional-schedule baselines per (program,
 	// config); shared by all copies of this Env.
 	memo *baselineMemo
+
+	// disk is the optional persistent result cache; nil keeps the
+	// environment memory-only. warmCal selects the warm-start
+	// calibrator for DRAM calibration.
+	disk    *DiskCache
+	warmCal bool
+}
+
+// Options selects optional acceleration layers for an environment.
+// The zero value reproduces DefaultEnv exactly.
+type Options struct {
+	// WarmCal calibrates through the warm-start mem.Calibrator (one
+	// reused engine per DRAM config) instead of the fanned-out
+	// one-shot sweep. Results are bit-identical either way.
+	WarmCal bool
+	// Cache persists calibrations, baselines and whole experiment
+	// tables across processes. nil disables persistence.
+	Cache *DiskCache
 }
 
 // WithWorkers returns a copy of the environment with the given
@@ -73,6 +91,14 @@ func (e Env) jobs() int { return parallel.Workers(e.Workers) }
 // methodology parameters. Pass quick=true to cut repetitions for
 // benchmarks and smoke tests (3 reps, keep 3).
 func DefaultEnv(quick bool) (Env, error) {
+	return NewEnv(quick, Options{})
+}
+
+// NewEnv is DefaultEnv with the sweep-acceleration layers selectable.
+// Every option is output-neutral: warm-start calibration is
+// bit-identical to the cold sweep, and the cache stores deterministic
+// results keyed by everything they depend on.
+func NewEnv(quick bool, opt Options) (Env, error) {
 	// NoiseSigma: the paper measures on a noise-controlled machine
 	// (services disabled, 20-run trimming); per-task jitter there is
 	// well under 1%. Larger values dissolve the equal-task convoys
@@ -89,16 +115,19 @@ func DefaultEnv(quick bool) (Env, error) {
 		e.Reps, e.Keep = 3, 3
 	}
 	e.memo = newBaselineMemo()
+	e.disk = opt.Cache
+	e.warmCal = opt.WarmCal
 	// Calibration is deterministic per DRAM config, so it is cached
 	// process-wide: every test, benchmark and CLI entry point pays
-	// for each configuration at most once.
+	// for each configuration at most once. With a disk cache attached
+	// it is paid at most once per cache directory.
 	const maxK = 8 // calibrate up to the SMT thread count
 	var err error
-	e.Cal1, err = mem.CalibrateCached(e.DRAM1, maxK, 6, workload.Footprint)
+	e.Cal1, err = e.calibrate(e.DRAM1, maxK, 6, workload.Footprint)
 	if err != nil {
 		return Env{}, fmt.Errorf("experiments: 1-DIMM calibration: %w", err)
 	}
-	e.Cal2, err = mem.CalibrateCached(e.DRAM2, maxK, 6, workload.Footprint)
+	e.Cal2, err = e.calibrate(e.DRAM2, maxK, 6, workload.Footprint)
 	if err != nil {
 		return Env{}, fmt.Errorf("experiments: 2-DIMM calibration: %w", err)
 	}

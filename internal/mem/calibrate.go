@@ -18,24 +18,42 @@ import (
 // analogue of the paper measuring Tm_k with gettimeofday() while MTL=k
 // (§V): k is exactly the number of memory tasks in flight.
 func MeasureTaskTime(cfg Config, k, tasksPerStream int, footprint int) (sim.Time, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := validateMeasure(cfg, k, tasksPerStream, footprint); err != nil {
 		return 0, err
 	}
-	if k < 1 {
-		return 0, fmt.Errorf("mem: MeasureTaskTime k = %d, want >= 1", k)
-	}
-	if tasksPerStream < 2 {
-		return 0, fmt.Errorf("mem: MeasureTaskTime needs >= 2 tasks per stream for warm-up trimming, got %d", tasksPerStream)
-	}
-	lines := footprint / cfg.LineBytes
-	if lines < 1 {
-		return 0, fmt.Errorf("mem: footprint %d smaller than one line (%d)", footprint, cfg.LineBytes)
-	}
-
 	eng := sim.New()
 	sys := NewSystem(eng, cfg)
+	durations := measureStreams(eng, sys, k, tasksPerStream, footprint, nil)
+	return sim.Time(stats.Mean(durations)), nil
+}
 
-	var durations []float64
+// validateMeasure checks one measurement request's arguments.
+func validateMeasure(cfg Config, k, tasksPerStream, footprint int) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if k < 1 {
+		return fmt.Errorf("mem: MeasureTaskTime k = %d, want >= 1", k)
+	}
+	if tasksPerStream < 2 {
+		return fmt.Errorf("mem: MeasureTaskTime needs >= 2 tasks per stream for warm-up trimming, got %d", tasksPerStream)
+	}
+	if footprint/cfg.LineBytes < 1 {
+		return fmt.Errorf("mem: footprint %d smaller than one line (%d)", footprint, cfg.LineBytes)
+	}
+	return nil
+}
+
+// measureStreams drives k closed-loop streams of tasksPerStream tasks
+// each through sys and appends the post-warm-up task durations to
+// durations, returning the grown slice. The engine must be at time
+// zero with an empty queue and sys freshly built or Reset: given that,
+// the event sequence — and therefore every measured duration — is a
+// pure function of (sys.cfg, k, tasksPerStream, footprint), identical
+// whether the underlying allocations are new or reused.
+func measureStreams(eng *sim.Engine, sys *System, k, tasksPerStream, footprint int, durations []float64) []float64 {
+	cfg := sys.Config()
+	lines := footprint / cfg.LineBytes
 	// Worker state machine: run task i, then task i+1, ...
 	var launch func(worker, task int)
 	linesPerRow := cfg.RowBytes / cfg.LineBytes
@@ -64,7 +82,7 @@ func MeasureTaskTime(cfg Config, k, tasksPerStream int, footprint int) (sim.Time
 		launch(w, 0)
 	}
 	eng.Run()
-	return sim.Time(stats.Mean(durations)), nil
+	return durations
 }
 
 // Calibration is the result of fitting the paper's contention law
@@ -113,24 +131,35 @@ func Calibrate(cfg Config, maxK, tasksPerStream, footprint int) (Calibration, er
 		tm, err := MeasureTaskTime(cfg, i+1, tasksPerStream, footprint)
 		return outcome{tm, err}
 	})
-	var xs, ys []float64
 	for k := 1; k <= maxK; k++ {
 		o := measured[k-1]
 		if o.err != nil {
 			return Calibration{}, o.err
 		}
 		cal.Tm = append(cal.Tm, o.tm)
-		xs = append(xs, float64(k))
-		ys = append(ys, float64(o.tm))
+	}
+	if err := cal.fit(); err != nil {
+		return Calibration{}, err
+	}
+	return cal, nil
+}
+
+// fit fills the linear-law parameters from the measured Tm series.
+func (c *Calibration) fit() error {
+	xs := make([]float64, len(c.Tm))
+	ys := make([]float64, len(c.Tm))
+	for i, tm := range c.Tm {
+		xs[i] = float64(i + 1)
+		ys[i] = float64(tm)
 	}
 	fit, err := stats.FitLine(xs, ys)
 	if err != nil {
-		return Calibration{}, err
+		return err
 	}
-	cal.Tml = sim.Time(fit.Intercept)
-	cal.Tql = sim.Time(fit.Slope)
-	cal.R2 = fit.R2
-	return cal, nil
+	c.Tml = sim.Time(fit.Intercept)
+	c.Tql = sim.Time(fit.Slope)
+	c.R2 = fit.R2
+	return nil
 }
 
 // calibrateRuns counts full (non-cached) Calibrate executions; tests
@@ -170,6 +199,22 @@ var (
 // matter how many environments, tests, or CLI entry points request
 // it. Concurrent requests for the same key share one measurement.
 func CalibrateCached(cfg Config, maxK, tasksPerStream, footprint int) (Calibration, error) {
+	return calibrateCachedWith(cfg, maxK, tasksPerStream, footprint, Calibrate)
+}
+
+// CalibrateWarmCached is CalibrateCached computing through the
+// warm-start Calibrator instead of the fanned-out one-shot Calibrate.
+// Both fill the same cache: their results are bit-identical, so
+// whichever path measures a configuration first serves every later
+// request for it.
+func CalibrateWarmCached(cfg Config, maxK, tasksPerStream, footprint int) (Calibration, error) {
+	return calibrateCachedWith(cfg, maxK, tasksPerStream, footprint, CalibrateWarm)
+}
+
+// calibrateCachedWith resolves one calibration request through the
+// process-wide cache, computing on miss via the supplied sweep.
+func calibrateCachedWith(cfg Config, maxK, tasksPerStream, footprint int,
+	sweep func(Config, int, int, int) (Calibration, error)) (Calibration, error) {
 	key := calKey{cfg, maxK, tasksPerStream, footprint}
 	calCacheMu.Lock()
 	e := calCache[key]
@@ -179,7 +224,7 @@ func CalibrateCached(cfg Config, maxK, tasksPerStream, footprint int) (Calibrati
 	}
 	calCacheMu.Unlock()
 	e.once.Do(func() {
-		e.cal, e.err = Calibrate(cfg, maxK, tasksPerStream, footprint)
+		e.cal, e.err = sweep(cfg, maxK, tasksPerStream, footprint)
 	})
 	if e.err != nil {
 		return Calibration{}, e.err

@@ -1,0 +1,81 @@
+package mem
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// calKeyCoveredFields is the audited list of Config fields the
+// calibration cache key accounts for. calKey embeds the whole Config
+// value and the persistent cache hashes Config's full JSON encoding,
+// so TODAY every field is covered by construction — this test exists
+// for the day someone adds a Config field (or narrows calKey to a
+// subset): it fails until the new field is added here, and the
+// perturbation pass below proves the caches actually distinguish it.
+var calKeyCoveredFields = []string{
+	"Channels", "RanksPerChannel", "BanksPerRank", "RowBytes", "LineBytes",
+	"TCAS", "TRCD", "TRP", "TBurst", "TFrontEnd",
+	"FrontJitter", "HitStreakCap", "MaxOutstanding", "ThinkTime",
+	"TREFI", "TRFC", "Seed",
+}
+
+// perturb bumps one Config field to a distinct valid-typed value.
+func perturb(cfg Config, field string) Config {
+	v := reflect.ValueOf(&cfg).Elem().FieldByName(field)
+	switch v.Kind() {
+	case reflect.Int, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Float64:
+		v.SetFloat(v.Float() + 0.5)
+	default:
+		panic("unhandled Config field kind " + v.Kind().String())
+	}
+	return cfg
+}
+
+// TestCalibrationCacheKeyCoversEveryConfigField fails when Config
+// grows a field the cache-key audit has not seen, and proves each
+// audited field separates both the in-process calKey and the JSON
+// encoding the persistent cache hashes.
+func TestCalibrationCacheKeyCoversEveryConfigField(t *testing.T) {
+	typ := reflect.TypeOf(Config{})
+	covered := make(map[string]bool, len(calKeyCoveredFields))
+	for _, f := range calKeyCoveredFields {
+		if _, ok := typ.FieldByName(f); !ok {
+			t.Errorf("audited field %q no longer exists in mem.Config; prune the audit list", f)
+		}
+		covered[f] = true
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if !covered[name] {
+			t.Errorf("mem.Config field %q is not in the calibration cache-key audit: "+
+				"confirm calKey and the disk cache distinguish it, then add it to calKeyCoveredFields", name)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	base := DDR3_1066()
+	baseKey := calKey{cfg: base, maxK: 4, tasksPerStream: 6, footprint: footprint512K}
+	baseJSON, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range calKeyCoveredFields {
+		mod := perturb(base, field)
+		if modKey := (calKey{cfg: mod, maxK: 4, tasksPerStream: 6, footprint: footprint512K}); modKey == baseKey {
+			t.Errorf("perturbing Config.%s does not change calKey: cache would serve a stale calibration", field)
+		}
+		modJSON, err := json.Marshal(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(modJSON) == string(baseJSON) {
+			t.Errorf("perturbing Config.%s does not change the JSON encoding: "+
+				"the persistent cache would serve a stale calibration (unexported or untagged field?)", field)
+		}
+	}
+}

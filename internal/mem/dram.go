@@ -301,6 +301,39 @@ func NewSystem(eng *sim.Engine, cfg Config) *System {
 	return s
 }
 
+// Reset returns the system to its just-built state — banks closed and
+// idle, buses free, counters zeroed, RNG reseeded from the config —
+// while keeping every grown structure: the bank array, the per-bank
+// request rings, and the request free list. Any requests still queued
+// (there are none after a drained run) are released to the pool. A
+// reset system is bit-identical to a fresh NewSystem with the same
+// engine state, so warm-start calibration can re-measure on reused
+// allocations without changing any measured number.
+func (s *System) Reset() {
+	for _, ch := range s.channels {
+		ch.busFreeAt = 0
+		for b := range ch.banks {
+			bk := &ch.banks[b]
+			for bk.queue.Len() > 0 {
+				q := bk.queue.at(0)
+				bk.queue.removeAt(0)
+				s.releaseReq(q)
+			}
+			bk.openRow = -1
+			bk.busy = false
+			bk.streak = 0
+			bk.lastServed = 0
+		}
+	}
+	s.rng.Seed(s.cfg.Seed)
+	s.arrivals = 0
+	s.reqs = 0
+	s.rowHits = 0
+	s.rowMiss = 0
+	s.busBytes = 0
+	s.refreshes = 0
+}
+
 // newRequest takes a request shell off the free list or allocates one.
 func (s *System) newRequest() *request {
 	if n := len(s.freeReqs); n > 0 {

@@ -281,6 +281,25 @@ func (e *Engine) AfterFunc(d Time, fn func(any), arg any) *Event {
 // Stop aborts a Run in progress after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Reset returns the engine to its initial state — clock at zero,
+// sequence counter at zero, queue empty — while keeping the grown
+// event free list and heap backing array. Any still-queued events are
+// cancelled and recycled. A reset engine behaves bit-identically to a
+// fresh one (event ordering depends only on (due, seq), both of which
+// restart from zero), which is what lets warm-start calibration reuse
+// one engine across measurements without perturbing a single result.
+func (e *Engine) Reset() {
+	for _, ev := range e.queue.ev {
+		ev.index = -1
+		ev.dead = true
+		e.recycle(ev)
+	}
+	e.queue.ev = e.queue.ev[:0]
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+}
+
 // Pending reports the number of events still queued.
 func (e *Engine) Pending() int { return e.queue.len() }
 

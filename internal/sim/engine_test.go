@@ -232,6 +232,55 @@ func TestEventRecyclingRescheduleLoop(t *testing.T) {
 	}
 }
 
+// TestEngineReset pins the warm-start contract: a reset engine must
+// behave bit-identically to a fresh one. Still-queued events are
+// recycled (not leaked), the clock and sequence counter restart from
+// zero, and a schedule replayed on the reset engine fires in exactly
+// the order a fresh engine produces.
+func TestEngineReset(t *testing.T) {
+	run := func(e *Engine) []int {
+		var got []int
+		e.At(2*Microsecond, func() { got = append(got, 2) })
+		e.At(1*Microsecond, func() { got = append(got, 1) })
+		e.At(1*Microsecond, func() { got = append(got, 10) }) // tie: insertion order
+		e.After(3*Microsecond, func() { got = append(got, 3) })
+		e.Run()
+		return got
+	}
+	fresh := run(New())
+
+	e := New()
+	run(e)
+	// Leave events queued and the clock advanced, then reset mid-flight.
+	e.At(e.Now()+Microsecond, func() { t.Error("event survived Reset") })
+	queued := e.At(e.Now()+2*Microsecond, func() { t.Error("event survived Reset") })
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatalf("after Reset: now = %v pending = %d, want 0 and 0", e.Now(), e.Pending())
+	}
+	queued.Cancel() // stale handle after Reset: must be a no-op
+
+	// The recycled shells must feed the free list: the first schedule
+	// after Reset reuses one instead of allocating.
+	if reused := e.After(Microsecond, func() {}); reused != queued {
+		t.Error("event queued at Reset was not recycled onto the free list")
+	}
+	e.Reset()
+
+	warm := run(e)
+	if len(warm) != len(fresh) {
+		t.Fatalf("reset engine fired %d events, fresh fired %d", len(warm), len(fresh))
+	}
+	for i := range fresh {
+		if warm[i] != fresh[i] {
+			t.Fatalf("reset engine order %v, fresh order %v", warm, fresh)
+		}
+	}
+	if e.Now() != 3*Microsecond {
+		t.Errorf("reset engine finished at %v, want 3us", e.Now())
+	}
+}
+
 // TestEngineAtFuncOrdering pins the pre-bound callback path: AtFunc
 // events interleave with At events in strict (due, seq) order and
 // receive their argument.
