@@ -10,6 +10,9 @@
 //	mtlbench -fig F13a -step 0.02 # denser Fig. 13 sweep
 //	mtlbench -all -quick -timings BENCH_baseline.json
 //	mtlbench -fig F14 -quick -cpuprofile cpu.out -memprofile mem.out
+//	mtlbench -all -cache-dir .mtlcache  # repeat runs replay from disk
+//	mtlbench -fig F13a -adaptive        # coarse-to-fine preview sweep
+//	mtlbench -all -warmcal              # warm-start calibration
 //	mtlbench -list
 package main
 
