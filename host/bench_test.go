@@ -1,0 +1,37 @@
+package host
+
+import "testing"
+
+// benchThroughput drives phases of small pairs through a Static-MTL
+// runtime at the given worker count. The task bodies are deliberately
+// tiny (2 KiB arrays, one compute pass) so the dispatch machinery —
+// dequeue, MTL admission, worker wakeup — dominates the wall-clock,
+// not memory bandwidth. These are the numbers the scalable-dispatch
+// work is pinned against in BENCH_SIM.json: the worker count rises
+// while the total work stays fixed, so any serialization in the
+// dispatch path shows up directly as lost throughput.
+func benchThroughput(b *testing.B, workers int) {
+	a, err := NewArraySet(128, 2*1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := New(Config{Workers: workers, Policy: Static, MTL: 2, W: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs, err := a.Pairs(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rt.Run(pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHostRuntimeThroughput8(b *testing.B)  { benchThroughput(b, 8) }
+func BenchmarkHostRuntimeThroughput32(b *testing.B) { benchThroughput(b, 32) }
+func BenchmarkHostRuntimeThroughput64(b *testing.B) { benchThroughput(b, 64) }
