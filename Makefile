@@ -12,12 +12,18 @@ GO ?= go
 BENCH_COUNT ?= 3
 HOT_BENCHES  = BenchmarkDRAMAccess|BenchmarkStreamPump|BenchmarkCalibrate|BenchmarkCalibrateWarm|BenchmarkCalibrateAdjacentCold|BenchmarkFig13Sweep
 
+# Host-runtime dispatch benchmarks, pinned against the pre-rewrite
+# mutex-and-broadcast runtime so the lock-free gate/deque win stays
+# measured. The 8/32/64 variants show dispatch cost staying flat as the
+# worker pool grows.
+HOST_BENCHES = BenchmarkHostRuntimeThroughput|BenchmarkHostRuntimeThroughput8|BenchmarkHostRuntimeThroughput32|BenchmarkHostRuntimeThroughput64
+
 # Benchmarks pinned allocation-free by `make bench-check`: the
 # zero-allocation hot paths from the PR 2 work must never regrow an
 # alloc, and the warm Calibrator's adjacent re-measure joins them.
 ZERO_ALLOC   = BenchmarkEngineStep,BenchmarkDRAMAccess,BenchmarkStreamPump
 
-.PHONY: check fmt vet build test race bench bench-baseline bench-check
+.PHONY: check fmt vet build test race bench bench-host bench-baseline bench-check
 
 check: fmt vet build test race
 
@@ -35,11 +41,13 @@ test:
 	$(GO) test ./...
 
 # The race pass re-runs the concurrency-heavy packages — the host
-# runtime (worker pool, watchdog, cancellation, chaos suite) and the
-# parallel run engine — under the race detector, plus the persistent
-# result cache's concurrent-writer suite (shared by mtlbench -j
-# fan-outs). The rest of the tree is single-goroutine simulation
-# already covered by `test`.
+# runtime (worker pool, stealing deques, gate, watchdog, cancellation,
+# chaos suite, and the host stress suite: TestStress* oversubscribes
+# the gate with hundreds of workers and hunts lost wakeups across
+# back-to-back 1-pair phases) and the parallel run engine — under the
+# race detector, plus the persistent result cache's concurrent-writer
+# suite (shared by mtlbench -j fan-outs). The rest of the tree is
+# single-goroutine simulation already covered by `test`.
 race:
 	$(GO) test -race ./host/... ./internal/parallel/...
 	$(GO) test -race -run 'DiskCache|Cached' ./internal/experiments
@@ -49,12 +57,20 @@ race:
 # from a fresh run (do this only when intentionally re-pinning).
 bench:
 	@{ $(GO) test -run '^$$' -bench '^BenchmarkEngineStep$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
-	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; } \
+	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
+	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \
+	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json
+
+# bench-host runs only the host-runtime dispatch benchmarks against the
+# committed baseline — the quick loop when iterating on the scheduler.
+bench-host:
+	@$(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host \
 	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json
 
 bench-baseline:
 	@{ $(GO) test -run '^$$' -bench '^BenchmarkEngineStep$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
-	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; } \
+	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
+	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \
 	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json -write -note "$(NOTE)"
 
 # bench-check is the regression gate: same benchmarks as `bench`, but
@@ -63,7 +79,8 @@ bench-baseline:
 # benchmarks.
 bench-check:
 	@{ $(GO) test -run '^$$' -bench '^BenchmarkEngineStep$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
-	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; } \
+	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
+	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \
 	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json -check -max-regress 0.15 -zero-alloc '$(ZERO_ALLOC)'
 
 # bench-all is the original full benchmark sweep (every paper artifact).

@@ -69,6 +69,8 @@ func run() error {
 		timings    = flag.String("timings", "", "write a per-experiment wall-clock snapshot to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file")
+		mtxprofile = flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
+		blkprofile = flag.String("blockprofile", "", "write a pprof blocking profile to this file")
 	)
 	flag.Parse()
 	if err := jobsFlagError(*jobs); err != nil {
@@ -92,7 +94,12 @@ func run() error {
 	// is in frame; Start fails fast on an unwritable path, and the
 	// deferred Stop flushes valid profile files even when the run
 	// errors out below (unknown -fig, render failure, ...).
-	session, err := prof.Start(*cpuprofile, *memprofile)
+	session, err := prof.StartAll(prof.Profiles{
+		CPU:   *cpuprofile,
+		Mem:   *memprofile,
+		Mutex: *mtxprofile,
+		Block: *blkprofile,
+	})
 	if err != nil {
 		return err
 	}

@@ -55,13 +55,20 @@ func run() error {
 		jobs       = flag.Int("j", 0, "worker goroutines for independent runs (default: GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file")
+		mtxprofile = flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
+		blkprofile = flag.String("blockprofile", "", "write a pprof blocking profile to this file")
 	)
 	flag.Parse()
 	if err := jobsFlagError(*jobs); err != nil {
 		return err
 	}
 
-	session, err := prof.Start(*cpuprofile, *memprofile)
+	session, err := prof.StartAll(prof.Profiles{
+		CPU:   *cpuprofile,
+		Mem:   *memprofile,
+		Mutex: *mtxprofile,
+		Block: *blkprofile,
+	})
 	if err != nil {
 		return err
 	}

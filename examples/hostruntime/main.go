@@ -26,12 +26,32 @@ import (
 	"time"
 
 	"memthrottle/host"
+	"memthrottle/internal/prof"
 )
 
 func main() {
 	log.SetFlags(0)
 	chaos := flag.Bool("chaos", false, "inject faults (spikes, errors, panics) and recover via retry")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
+	mtxprofile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
+	blkprofile := flag.String("blockprofile", "", "write a pprof blocking profile to this file")
 	flag.Parse()
+
+	session, err := prof.StartAll(prof.Profiles{
+		CPU:   *cpuprofile,
+		Mem:   *memprofile,
+		Mutex: *mtxprofile,
+		Block: *blkprofile,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := session.Stop(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	workers := runtime.GOMAXPROCS(0)
 	fmt.Printf("host: %d worker goroutines\n\n", workers)

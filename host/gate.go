@@ -1,0 +1,150 @@
+package host
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// gate is the atomic-counter MTL gate: admission of a memory-class
+// task is one CAS on the in-flight counter against the current limit —
+// no lock anywhere on the hot path. The limit mirrors the controller's
+// MTL() (stored under Runtime.ctrlMu whenever the controller moves it),
+// so workers never touch the controller to ask permission.
+//
+// The gate spans Run calls on purpose: a worker wedged in user code
+// from an aborted phase still holds its slot until the task returns,
+// so the paper's hard invariant — never more than MTL memory tasks in
+// flight — holds across overlapping phase teardown exactly as the old
+// mutex-and-counter implementation did.
+type gate struct {
+	limit  atomic.Int64 // current MTL, mirrored from the controller
+	active atomic.Int64 // memory-class tasks in flight
+	peak   atomic.Int64 // high-water mark of active, reset per Run
+}
+
+// tryAcquire claims one memory-task slot if the gate is open. The
+// admission check and the increment are a single CAS, so two racing
+// workers can never both slip through the last slot.
+func (g *gate) tryAcquire() bool {
+	for {
+		a := g.active.Load()
+		if a >= g.limit.Load() {
+			return false
+		}
+		if g.active.CompareAndSwap(a, a+1) {
+			n := a + 1
+			for {
+				p := g.peak.Load()
+				if n <= p || g.peak.CompareAndSwap(p, n) {
+					return true
+				}
+			}
+		}
+	}
+}
+
+// release returns a slot. The caller follows up with a targeted wakeup
+// (lot.unparkOne) so exactly one gate-blocked worker re-scans.
+func (g *gate) release() {
+	if g.active.Add(-1) < 0 {
+		panic("host: gate released below zero")
+	}
+}
+
+// resetPeak restarts the per-Run high-water mark at the current
+// occupancy (slots may still be held by a previous phase's wedged
+// tasks).
+func (g *gate) resetPeak() {
+	g.peak.Store(g.active.Load())
+}
+
+// parker is one worker's wakeup slot: a 1-buffered token channel. The
+// discipline — a token is sent only after the parker is popped from
+// the lot, and the owner drains before re-enqueueing — guarantees at
+// most one token is ever outstanding, so sends never block.
+type parker struct {
+	token  chan struct{}
+	queued bool // guarded by lot.mu
+}
+
+// lot is the parked-waiter list: workers that found no runnable job
+// (empty deques, or only gate-blocked memory work) enqueue themselves
+// and block on their token. Every event that creates a dispatch
+// opportunity — a successor job pushed, a gate slot released, an MTL
+// raise, phase end — wakes exactly the workers it can satisfy instead
+// of broadcasting to all of them. The lock guards only the waiter
+// list; workers with work in hand never touch it.
+type lot struct {
+	mu     sync.Mutex
+	parked []*parker
+}
+
+// enqueue registers p as parked. Callers must not hold lot.mu. The
+// caller re-scans for work *after* enqueueing: any job published after
+// that re-scan finds p in the list and wakes it, so no wakeup is lost
+// (the Dekker-style store/check orders of parker and publisher cross).
+func (l *lot) enqueue(p *parker) {
+	select {
+	case <-p.token: // drop a stale token from a wake we never consumed
+	default:
+	}
+	l.mu.Lock()
+	p.queued = true
+	l.parked = append(l.parked, p)
+	l.mu.Unlock()
+}
+
+// cancel withdraws p after its post-enqueue re-scan found work. If an
+// unparker popped p concurrently, its token is in flight — consume it
+// so the next enqueue starts clean.
+func (l *lot) cancel(p *parker) {
+	l.mu.Lock()
+	if p.queued {
+		p.queued = false
+		for i := len(l.parked) - 1; i >= 0; i-- { // LIFO: self is near the end
+			if l.parked[i] == p {
+				l.parked = append(l.parked[:i], l.parked[i+1:]...)
+				break
+			}
+		}
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+	<-p.token
+}
+
+// unparkOne wakes the most recently parked worker (cache-warm, and the
+// oldest sleepers stay asleep under light load). Reports whether a
+// sleeper was woken; on false the caller may spawn a fresh worker
+// instead (the phase lazily grows its pool up to Config.Workers).
+func (l *lot) unparkOne() bool {
+	l.mu.Lock()
+	n := len(l.parked)
+	if n == 0 {
+		l.mu.Unlock()
+		return false
+	}
+	p := l.parked[n-1]
+	l.parked = l.parked[:n-1]
+	p.queued = false
+	l.mu.Unlock()
+	p.token <- struct{}{}
+	return true
+}
+
+// unparkAll wakes every parked worker — reserved for the rare events
+// that can satisfy many at once (MTL raise, degradation to the
+// conventional schedule) or that end the phase (completion, abort).
+func (l *lot) unparkAll() {
+	l.mu.Lock()
+	woken := l.parked
+	l.parked = nil
+	for _, p := range woken {
+		p.queued = false
+	}
+	l.mu.Unlock()
+	for _, p := range woken {
+		p.token <- struct{}{}
+	}
+}

@@ -1,17 +1,28 @@
 // Package host is the real-machine implementation of the paper's
 // run-time memory thread throttling (§V): a pool of worker goroutines
 // executes user-supplied memory/compute task pairs from a work queue,
-// a lock and a counter enforce the Memory Task Limit, and the same
-// controllers that drive the simulator (internal/core) retarget the
-// MTL from live task timings.
+// an admission gate and a counter enforce the Memory Task Limit, and
+// the same controllers that drive the simulator (internal/core)
+// retarget the MTL from live task timings.
+//
+// The dispatch core is built for contended scale: MTL admission is one
+// CAS on an atomic counter (gate.go) instead of a global lock, ready
+// jobs live in per-worker bounded work-stealing deques (deque.go)
+// instead of globally sorted slices, and workers that go idle park on
+// a waiter list and receive targeted wakeups — one notify per dispatch
+// opportunity — rather than a Broadcast to every worker on every task
+// completion. The paper's semantics are preserved exactly: never more
+// than MTL memory tasks in flight (admission-time), compute after its
+// pair's memory task, scatter after compute, and per-pair monitoring
+// feeding the controller. Stats totals (Pairs, CompletedPairs, peak
+// concurrency, decision history) remain deterministic for a given
+// workload and policy; the task interleaving across workers is not.
 //
 // Unlike the paper's pthread runtime, goroutines cannot be pinned to
 // cores portably — the Go scheduler multiplexes them — so wall-clock
 // speedups depend on the host memory system and are not asserted by
 // the test suite; the simulator is the quantitative substrate. The
-// throttling semantics (never more than MTL memory tasks in flight,
-// dependency order, per-pair monitoring, dynamic adaptation) are
-// identical and are tested here.
+// throttling semantics are identical and are tested here.
 //
 // The runtime is built to survive hostile workloads: RunContext
 // honours context cancellation and per-Run deadlines (workers drain
@@ -30,6 +41,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"memthrottle/internal/core"
@@ -213,18 +225,26 @@ type Stats struct {
 	Stalled   []int // pair index of each flagged task, in detection order
 	Degraded  bool  // Dynamic controller fell back to Conventional
 	Cancelled bool  // run ended early on cancellation or deadline
+	Spills    int   // jobs that overflowed a worker deque into the shared list
 }
 
 // Runtime schedules pairs under MTL throttling.
 type Runtime struct {
 	cfg Config
+	th  core.Throttler
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	th        core.Throttler
-	activeMem int
-	peakMem   int
-	closed    bool
+	// gate admits memory-class tasks with a CAS against the mirrored
+	// MTL; lot parks idle workers for targeted wakeups. Both span Run
+	// calls so tasks wedged past an abort keep their accounting.
+	gate gate
+	lot  lot
+
+	// ctrlMu serializes every controller interaction (OnPair, History,
+	// Health, degradation) plus the phase's timing aggregates. It is
+	// taken once per completed pair — never on the dispatch hot path.
+	ctrlMu sync.Mutex
+
+	closed atomic.Bool
 }
 
 // New builds a runtime. The controller persists across Run calls, so
@@ -236,7 +256,6 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	r := &Runtime{cfg: cfg}
-	r.cond = sync.NewCond(&r.mu)
 	switch cfg.Policy {
 	case Conventional:
 		r.th = core.Fixed{K: cfg.Workers}
@@ -249,21 +268,21 @@ func New(cfg Config) (*Runtime, error) {
 	default:
 		return nil, fmt.Errorf("host: unknown policy %v", cfg.Policy)
 	}
+	r.gate.limit.Store(int64(r.th.MTL()))
 	return r, nil
 }
 
-// MTL reports the currently enforced limit.
+// MTL reports the currently enforced limit. It is a single atomic load
+// — samplers and watchdogs polling it never contend with workers.
 func (r *Runtime) MTL() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.th.MTL()
+	return int(r.gate.limit.Load())
 }
 
 // Health reports the controller's measurement-guard summary (adaptive
 // policies only; the zero Health otherwise).
 func (r *Runtime) Health() core.Health {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.ctrlMu.Lock()
+	defer r.ctrlMu.Unlock()
 	switch t := r.th.(type) {
 	case *core.Dynamic:
 		return t.Health()
@@ -276,18 +295,22 @@ func (r *Runtime) Health() core.Health {
 
 // Close marks the runtime closed; subsequent Run calls fail.
 func (r *Runtime) Close() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.closed = true
+	r.closed.Store(true)
 }
 
-// job is one schedulable task.
+// job is one schedulable task. ids follow the old global-queue scheme
+// — 3·pair for memory, +1 compute, +2 scatter — so the pair index and
+// the task class are derived, not stored, and exactly one of the two
+// function forms is set (storing the user's function directly avoids
+// one wrapper closure per task).
 type job struct {
-	id     int
-	pair   int
-	memory bool
-	fn     func() error
+	id  int32
+	fn  func()       // plain form
+	fnE func() error // error-returning form
 }
+
+func (j *job) pair() int    { return int(j.id) / 3 }
+func (j *job) memory() bool { return j.id%3 != 1 }
 
 // Run executes one phase of pairs to completion and returns its
 // statistics. Within the phase, compute tasks run after their memory
@@ -299,24 +322,42 @@ func (r *Runtime) Run(pairs []Pair) (Stats, error) {
 }
 
 // RunContext is Run with cancellation: when ctx is cancelled (or the
-// configured RunTimeout expires) the queues drain, workers stop
-// picking up tasks, and the call returns the partial Stats of the
-// completed prefix together with ctx's error. Tasks already executing
-// are not interrupted — a worker wedged inside user code keeps its
-// goroutine until the task returns — but the call itself returns
-// promptly and the runtime stays usable.
+// configured RunTimeout expires) workers stop picking up tasks and the
+// call returns the partial Stats of the completed prefix together with
+// ctx's error. Tasks already executing are not interrupted — a worker
+// wedged inside user code keeps its goroutine (and its gate slot)
+// until the task returns — but the call itself returns promptly and
+// the runtime stays usable.
 func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	if len(pairs) == 0 {
 		return Stats{}, errors.New("host: Run with no pairs")
 	}
-	type fns struct{ mem, comp, scat func() error }
-	tasks := make([]fns, len(pairs))
+	jobs := make([]job, 3*len(pairs))
+	total := 0
 	for i, p := range pairs {
-		mem, comp, scat, err := p.taskFns(i)
-		if err != nil {
-			return Stats{}, err
+		slots := [3]struct {
+			name     string
+			plain    func()
+			withErr  func() error
+			required bool
+		}{
+			{"Memory", p.Memory, p.MemoryErr, true},
+			{"Compute", p.Compute, p.ComputeErr, true},
+			{"Scatter", p.Scatter, p.ScatterErr, false},
 		}
-		tasks[i] = fns{mem, comp, scat}
+		for k, s := range slots {
+			switch {
+			case s.plain != nil && s.withErr != nil:
+				return Stats{}, fmt.Errorf("host: pair %d sets both %s and %sErr", i, s.name, s.name)
+			case s.plain == nil && s.withErr == nil:
+				if s.required {
+					return Stats{}, fmt.Errorf("host: pair %d missing memory or compute task", i)
+				}
+				continue
+			}
+			jobs[3*i+k] = job{id: int32(3*i + k), fn: s.plain, fnE: s.withErr}
+			total++
+		}
 	}
 	if r.cfg.RunTimeout > 0 {
 		var cancel context.CancelFunc
@@ -326,77 +367,97 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return Stats{Pairs: len(pairs), Cancelled: true}, err
 	}
-
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	if r.closed.Load() {
 		return Stats{}, errors.New("host: runtime closed")
 	}
-	r.peakMem = 0
-	r.mu.Unlock()
+	r.gate.resetPeak()
 
+	nw := r.cfg.Workers
+	// Every task of the phase lives in one id-indexed block (3·pair
+	// for memory, +1 compute, +2 scatter), so dispatching a successor
+	// is pointer arithmetic, not an allocation.
 	ph := &phase{
-		rt:     r,
-		ctx:    ctx,
-		scat:   make([]func() error, len(pairs)),
-		comp:   make([]func() error, len(pairs)),
-		tmDur:  make([]time.Duration, len(pairs)),
-		flight: make([]flightRec, r.cfg.Workers),
-		start:  time.Now(),
-		pairs:  len(pairs),
-		done:   make(chan struct{}),
+		rt:      r,
+		ctx:     ctx,
+		jobs:    jobs,
+		tmDur:   make([]time.Duration, len(pairs)),
+		workers: make([]atomic.Pointer[worker], nw),
+		start:   time.Now(),
+		pairs:   len(pairs),
+		done:    make(chan struct{}),
 	}
-	for i := range pairs {
-		ph.remain += 2
-		ph.comp[i] = tasks[i].comp
-		if tasks[i].scat != nil {
-			ph.scat[i] = tasks[i].scat
-			ph.remain++
-		}
-		ph.readyMem = append(ph.readyMem, &job{id: 3 * i, pair: i, memory: true, fn: tasks[i].mem})
+	ph.watch = r.cfg.StallTimeout > 0
+	if ph.watch {
+		ph.flight = make([]flightRec, nw)
 	}
+	_, fixed := r.th.(core.Fixed)
+	ph.adaptive = !fixed
+	ph.remain.Store(int64(total))
 
-	// The canceller propagates ctx into the phase: it drains the
-	// queues and wakes every worker, then the run returns promptly
-	// with partial stats.
+	// The initial memory jobs seed the shared FIFO in submission
+	// order, so gathers are admitted lowest pair first exactly as the
+	// old sorted global queue did; each successor job then stays on
+	// the worker that produced it (dispatch) unless stolen.
+	seedJobs := make([]*job, len(pairs))
+	for i := range pairs {
+		seedJobs[i] = &ph.jobs[3*i]
+	}
+	ph.over.seed(seedJobs)
+	ph.readyMem.Store(int64(len(pairs)))
+
+	// The canceller propagates ctx into the phase: workers stop
+	// dequeueing and every parked worker is woken, then the run
+	// returns promptly with partial stats.
 	go func() {
 		select {
 		case <-ctx.Done():
-			r.mu.Lock()
-			if !ph.aborted {
-				ph.cancelErr = ctx.Err()
-				ph.abortLocked()
-			}
-			r.mu.Unlock()
+			ph.cancelRun(ctx.Err())
 		case <-ph.done:
 		}
 	}()
-	if r.cfg.StallTimeout > 0 {
+	if ph.watch {
 		go ph.watchdog()
 	}
-	for w := 0; w < r.cfg.Workers; w++ {
-		go ph.work(w)
+	// Workers spawn on demand, Go-scheduler style: starting more than
+	// the admission limit can run would only park them. The pool grows
+	// toward Config.Workers whenever a publisher cannot drain its own
+	// backlog (dispatch), admissible work outlives a scan (acquire),
+	// the MTL rises, or the watchdog flags a wedged task.
+	n0 := int(r.gate.limit.Load()) + 1
+	if n0 > nw {
+		n0 = nw
+	}
+	if n0 > len(pairs) {
+		n0 = len(pairs)
+	}
+	if n0 < 1 {
+		n0 = 1
+	}
+	for w := 0; w < n0; w++ {
+		ph.spawnWorker()
 	}
 
 	// Completion or abort, whichever comes first; workers wedged in
 	// user code do not block the return.
 	<-ph.done
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	st := Stats{
 		Elapsed:        time.Since(ph.start),
 		Pairs:          ph.pairs,
-		CompletedPairs: ph.completed,
-		FinalMTL:       r.th.MTL(),
-		MaxConcurrentM: r.peakMem,
-		Retries:        ph.retries,
-		Recovered:      ph.recovered,
-		Stalls:         ph.stalls,
-		Stalled:        append([]int(nil), ph.stalledPairs...),
-		Degraded:       ph.degraded,
-		Cancelled:      ph.cancelErr != nil,
+		CompletedPairs: int(ph.completed.Load()),
+		MaxConcurrentM: int(r.gate.peak.Load()),
+		Retries:        int(ph.retries.Load()),
+		Recovered:      int(ph.recovered.Load()),
+		Spills:         int(ph.spills.Load()),
 	}
+	ph.wdMu.Lock()
+	st.Stalls = ph.stalls
+	st.Stalled = append([]int(nil), ph.stalledPairs...)
+	st.Degraded = ph.degraded
+	ph.wdMu.Unlock()
+
+	r.ctrlMu.Lock()
+	st.FinalMTL = r.th.MTL()
 	if d, ok := r.th.(*core.Dynamic); ok {
 		st.MTLDecisions = append([]int(nil), d.History...)
 		st.Degraded = d.Degraded()
@@ -404,17 +465,23 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	if o, ok := r.th.(*core.OnlineExhaustive); ok {
 		st.MTLDecisions = append([]int(nil), o.History...)
 	}
-	if ph.nTm > 0 {
-		st.MeanTm = ph.sumTm / time.Duration(ph.nTm)
+	r.ctrlMu.Unlock()
+	if n := ph.nTm.Load(); n > 0 {
+		st.MeanTm = time.Duration(ph.sumTm.Load() / n)
 	}
-	if ph.nTc > 0 {
-		st.MeanTc = ph.sumTc / time.Duration(ph.nTc)
+	if n := ph.nTc.Load(); n > 0 {
+		st.MeanTc = time.Duration(ph.sumTc.Load() / n)
 	}
+
+	ph.stateMu.Lock()
+	cancelErr, taskErr := ph.cancelErr, ph.err
+	ph.stateMu.Unlock()
+	st.Cancelled = cancelErr != nil
 	switch {
-	case ph.cancelErr != nil:
-		return st, ph.cancelErr
-	case ph.err != nil:
-		return st, ph.err
+	case cancelErr != nil:
+		return st, cancelErr
+	case taskErr != nil:
+		return st, taskErr
 	}
 	return st, nil
 }
@@ -432,163 +499,478 @@ func (r *Runtime) RunPhases(phases [][]Pair) ([]Stats, error) {
 	return out, nil
 }
 
+// worker is one dispatch loop's private state: two bounded deques
+// (memory-class jobs behind the gate, compute jobs free), a parking
+// slot, and a steal RNG.
+type worker struct {
+	slot int
+	mem  *deque
+	comp *deque
+	park parker
+	rng  uint64
+}
+
+// nextRand is a xorshift64* step — cheap decorrelated victim choice.
+func (w *worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// overflow is the shared FIFO job list: it seeds the phase with the
+// initial memory jobs in submission order (the Go scheduler's
+// global-runq seeding its local runqs) and absorbs successor jobs that
+// did not fit a worker's bounded deque. Per-class atomic counts keep
+// the empty case — the steady state once the seed drains — off the
+// mutex entirely.
+type overflow struct {
+	nMem, nComp atomic.Int64
+	mu          sync.Mutex
+	mem, comp   []*job
+}
+
+// seed installs the initial memory jobs. Single-threaded phase setup,
+// before any worker starts.
+func (o *overflow) seed(jobs []*job) {
+	o.mem = jobs
+	o.nMem.Store(int64(len(jobs)))
+}
+
+func (o *overflow) put(j *job) {
+	o.mu.Lock()
+	if j.memory() {
+		o.mem = append(o.mem, j)
+		o.nMem.Add(1)
+	} else {
+		o.comp = append(o.comp, j)
+		o.nComp.Add(1)
+	}
+	o.mu.Unlock()
+}
+
+func (o *overflow) take(memClass bool) *job {
+	n, q := &o.nComp, &o.comp
+	if memClass {
+		n, q = &o.nMem, &o.mem
+	}
+	if n.Load() == 0 {
+		return nil
+	}
+	o.mu.Lock()
+	var j *job
+	if len(*q) > 0 {
+		j = (*q)[0]
+		*q = (*q)[1:]
+		n.Add(-1)
+	}
+	o.mu.Unlock()
+	return j
+}
+
 // phase is the shared state of one Run.
 type phase struct {
-	rt        *Runtime
-	ctx       context.Context
-	pairs     int
-	comp      []func() error // per-pair compute task
-	scat      []func() error // per-pair scatter task (nil = none)
-	readyMem  []*job
-	readyComp []*job
-	remain    int
-	start     time.Time
-	flight    []flightRec // per-worker in-flight registry
+	rt      *Runtime
+	ctx     context.Context
+	pairs   int
+	jobs    []job                    // id-indexed task block (3·pair + class)
+	workers []atomic.Pointer[worker] // lazily spawned, published per slot
+	spawned atomic.Int32             // worker slots claimed so far
+	over    overflow
+	start   time.Time
 
+	remain    atomic.Int64 // tasks not yet finished
+	completed atomic.Int64 // pairs whose compute finished
+	retries   atomic.Int64
+	recovered atomic.Int64
+	spills    atomic.Int64
+
+	// readyMem/readyComp are advisory upper bounds on the runnable
+	// jobs of each class: publishers increment *before* pushing, so a
+	// zero read proves there is nothing to find and an idle worker
+	// skips the whole admission-and-steal scan (and, crucially, the
+	// wake-another-worker path) with two loads. Consumers decrement
+	// after a successful take, so the counts may transiently overshoot
+	// — costing a spurious scan, never a lost job.
+	readyMem  atomic.Int64
+	readyComp atomic.Int64
+
+	watch    bool // stall watchdog armed (Config.StallTimeout > 0)
+	adaptive bool // controller consumes samples (non-Fixed throttler)
+
+	// Timing aggregates. tmDur[i] is written once by pair i's gather
+	// finisher and read by its compute finisher; the dispatch path's
+	// atomics order the two. The sums feed Stats means only.
 	tmDur []time.Duration // per-pair memory-task duration
-	sumTm time.Duration
-	nTm   int
-	sumTc time.Duration
-	nTc   int
+	sumTm atomic.Int64    // nanoseconds
+	nTm   atomic.Int64
+	sumTc atomic.Int64 // nanoseconds
+	nTc   atomic.Int64
 
-	completed    int // pairs whose compute finished
-	retries      int
-	recovered    int
+	flight []flightRec // per-worker in-flight registry (atomic fields)
+
+	wdMu         sync.Mutex // watchdog bookkeeping + end-of-run read
 	stalls       int
 	stalledPairs []int
 	degraded     bool
 
+	stateMu   sync.Mutex
 	err       error // first terminal task failure
 	cancelErr error // ctx cancellation, set by the canceller
-	aborted   bool  // queues drained; workers must exit
-	done      chan struct{}
-	doneOnce  sync.Once
+	aborted   atomic.Bool
+
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
-// signalDoneLocked releases RunContext. Caller holds rt.mu.
-func (ph *phase) signalDoneLocked() {
+// spawnWorker starts one more worker goroutine if the pool has not
+// reached Config.Workers yet. Safe from any goroutine; the CAS makes
+// slot claims race-free and the atomic slot publication lets thieves
+// scan concurrently with spawning.
+func (ph *phase) spawnWorker() {
+	nw := ph.rt.cfg.Workers
+	for {
+		n := ph.spawned.Load()
+		if int(n) >= nw || ph.stopped() {
+			return
+		}
+		if ph.spawned.CompareAndSwap(n, n+1) {
+			w := &worker{
+				slot: int(n),
+				mem:  newDeque(64),
+				comp: newDeque(64),
+				rng:  uint64(n)*0x9E3779B97F4A7C15 + 1,
+				park: parker{token: make(chan struct{}, 1)},
+			}
+			ph.workers[n].Store(w)
+			go ph.work(w)
+			return
+		}
+	}
+}
+
+// signalDone releases RunContext.
+func (ph *phase) signalDone() {
 	ph.doneOnce.Do(func() { close(ph.done) })
 }
 
-// pick returns the next runnable job under the MTL gate, or nil when
-// the worker should wait (blocked=true) or exit (blocked=false).
-// Caller holds rt.mu.
-func (ph *phase) pick() (j *job, blocked bool) {
-	r := ph.rt
-	memOK := r.activeMem < r.th.MTL() && len(ph.readyMem) > 0
-	compOK := len(ph.readyComp) > 0
-	switch {
-	case memOK && (!compOK || ph.readyMem[0].id < ph.readyComp[0].id):
-		j = ph.readyMem[0]
-		ph.readyMem = ph.readyMem[1:]
-	case compOK:
-		j = ph.readyComp[0]
-		ph.readyComp = ph.readyComp[1:]
-	default:
-		return nil, ph.remain > 0
-	}
-	return j, false
+// stopped reports whether workers must drain: the phase aborted or
+// every task finished.
+func (ph *phase) stopped() bool {
+	return ph.aborted.Load() || ph.remain.Load() <= 0
 }
 
-// insert keeps a ready queue ordered by job id.
-func insert(q []*job, j *job) []*job {
-	i := len(q)
-	for i > 0 && q[i-1].id > j.id {
-		i--
+// abort marks the phase dead, releases RunContext and wakes every
+// parked worker so it can observe the stop.
+func (ph *phase) abort() {
+	if ph.aborted.CompareAndSwap(false, true) {
+		ph.signalDone()
+		ph.rt.lot.unparkAll()
 	}
-	q = append(q, nil)
-	copy(q[i+1:], q[i:])
-	q[i] = j
-	return q
 }
 
-// work is the worker-goroutine loop: the paper's child threads
-// dequeuing from the work queue under the lock-and-counter MTL gate.
+// fail records the first terminal task failure and aborts.
+func (ph *phase) fail(err error) {
+	ph.stateMu.Lock()
+	if ph.err == nil && ph.cancelErr == nil {
+		ph.err = err
+	}
+	ph.stateMu.Unlock()
+	ph.abort()
+}
+
+// cancelRun records ctx expiry and aborts (no-op if a task failure
+// already took the phase down).
+func (ph *phase) cancelRun(err error) {
+	ph.stateMu.Lock()
+	if !ph.aborted.Load() && ph.err == nil {
+		ph.cancelErr = err
+	}
+	ph.stateMu.Unlock()
+	ph.abort()
+}
+
+// work is the worker-goroutine loop: pop local, steal remote, admit
+// memory-class jobs through the atomic gate, park when idle.
 // Cancellation and aborts are observed between tasks: a worker always
 // finishes (or exhausts retries on) the task it is running, then
 // drains.
-func (ph *phase) work(slot int) {
-	r := ph.rt
-	r.mu.Lock()
+func (ph *phase) work(w *worker) {
 	for {
-		if ph.aborted {
-			r.mu.Unlock()
+		if ph.stopped() {
 			return
 		}
-		j, blocked := ph.pick()
+		j := ph.acquire(w)
 		if j == nil {
-			if !blocked {
-				r.mu.Unlock()
+			if j = ph.parkTillWork(w); j == nil {
 				return
 			}
-			r.cond.Wait()
+		}
+		if !ph.execute(w, j) {
+			return
+		}
+	}
+}
+
+// acquire finds the next runnable job, or nil when the worker should
+// park. Memory-class jobs are only returned with a gate slot already
+// held (admission precedes dequeue, so the slot is never claimed for
+// work that does not exist). Search order: own compute (LIFO,
+// cache-warm), spilled compute, then — one admission attempt — own
+// memory, spilled memory, stolen memory, and finally stolen compute.
+// Each class is searched only when its ready count is non-zero, so an
+// idle probe is a handful of loads with no CAS traffic and no wakes.
+func (ph *phase) acquire(w *worker) *job {
+	if ph.stopped() {
+		return nil
+	}
+	if ph.readyComp.Load() > 0 {
+		if j := w.comp.popBottom(); j != nil {
+			ph.readyComp.Add(-1)
+			return j
+		}
+		if j := ph.over.take(false); j != nil {
+			ph.readyComp.Add(-1)
+			return j
+		}
+	}
+	r := ph.rt
+	if ph.readyMem.Load() > 0 && r.gate.tryAcquire() {
+		if j := w.mem.popBottom(); j != nil {
+			ph.readyMem.Add(-1)
+			return j
+		}
+		if j := ph.over.take(true); j != nil {
+			ph.readyMem.Add(-1)
+			return j
+		}
+		if j := ph.steal(w, true); j != nil {
+			ph.readyMem.Add(-1)
+			return j
+		}
+		// Raced away: hand the speculative slot back, and nudge one
+		// sleeper only if there is still admissible work it could run
+		// (spawning a fresh worker if nobody is parked).
+		r.gate.release()
+		if ph.readyMem.Load() > 0 && !r.lot.unparkOne() {
+			ph.spawnWorker()
+		}
+	}
+	if ph.readyComp.Load() > 0 {
+		if j := ph.steal(w, false); j != nil {
+			ph.readyComp.Add(-1)
+			return j
+		}
+	}
+	return nil
+}
+
+// steal scans the other workers' deques from a random start, retrying
+// a victim on CAS contention (the deque may still hold work). Unspawned
+// slots read as nil and are skipped.
+func (ph *phase) steal(w *worker, memClass bool) *job {
+	n := len(ph.workers)
+	if n == 1 {
+		return nil
+	}
+	off := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := ph.workers[(off+i)%n].Load()
+		if v == nil || v == w {
 			continue
 		}
-		if j.memory {
-			r.activeMem++
-			if r.activeMem > r.peakMem {
-				r.peakMem = r.activeMem
+		q := v.comp
+		if memClass {
+			q = v.mem
+		}
+		for {
+			j, retry := q.steal()
+			if j != nil {
+				return j
+			}
+			if !retry {
+				break
 			}
 		}
-		r.mu.Unlock()
+	}
+	return nil
+}
 
-		dur, attempts, err := ph.runWithRetry(slot, j)
+// parkTillWork blocks the worker until a wakeup token arrives, then
+// retries acquisition. Returns nil when the phase is over. The
+// re-scan after enqueueing closes the lost-wakeup window: any job
+// published after that scan sees this worker parked and wakes it.
+func (ph *phase) parkTillWork(w *worker) *job {
+	l := &ph.rt.lot
+	for {
+		l.enqueue(&w.park)
+		if ph.stopped() {
+			l.cancel(&w.park)
+			return nil
+		}
+		if j := ph.acquire(w); j != nil {
+			l.cancel(&w.park)
+			return j
+		}
+		<-w.park.token
+		if ph.stopped() {
+			return nil
+		}
+		if j := ph.acquire(w); j != nil {
+			return j
+		}
+	}
+}
 
-		r.mu.Lock()
-		ph.flight[slot] = flightRec{}
-		if j.memory {
-			r.activeMem--
+// execute runs one job (under retry), releases its gate slot, and
+// feeds the completion back into the dispatch state. Returns false
+// when the worker must drain.
+func (ph *phase) execute(w *worker, j *job) bool {
+	dur, end, attempts, err := ph.runWithRetry(w.slot, j)
+	if j.memory() {
+		ph.rt.gate.release()
+		// No wake on release: while admissible work remains, either
+		// this worker's next acquire or the worker that races it into
+		// the freed slot stays active and keeps draining — waking a
+		// sleeper would only displace a running worker. The exception
+		// is a task outliving an aborted phase: this worker exits
+		// right after the release, and the freed slot may be the one
+		// a *newer* phase's gate-blocked sleepers are waiting for.
+		if ph.aborted.Load() {
+			ph.rt.lot.unparkOne()
 		}
-		if attempts > 1 {
-			ph.retries += attempts - 1
-			if err == nil {
-				ph.recovered++
-			}
+	}
+	if attempts > 1 {
+		ph.retries.Add(int64(attempts - 1))
+		if err == nil {
+			ph.recovered.Add(1)
 		}
-		if err != nil {
-			if ph.err == nil {
-				ph.err = err
-			}
-			ph.abortLocked()
-			r.mu.Unlock()
-			return
+	}
+	if err != nil {
+		ph.fail(err)
+		return false
+	}
+	if ph.aborted.Load() {
+		// The phase was torn down while this task ran: the result is
+		// dropped, the gate slot above is already released.
+		return false
+	}
+	ph.finish(w, j, dur, end)
+	return true
+}
+
+// dispatch publishes a successor job to the finishing worker's own
+// deque (or, if that is full, to the shared overflow). The ready count
+// rises before the push so no scanner can prove absence while the job
+// is in flight. No wake is issued when the job is the publisher's only
+// local work: the publisher's very next acquire pops it (own deques
+// are scanned first), so waking a thief would buy nothing; a thief is
+// woken only when the publisher demonstrably cannot drain alone.
+func (ph *phase) dispatch(w *worker, j *job) {
+	n := &ph.readyComp
+	q := w.comp
+	if j.memory() {
+		n = &ph.readyMem
+		q = w.mem
+	}
+	busy := w.comp.size()+w.mem.size() > 0
+	n.Add(1)
+	if !q.push(j) {
+		ph.over.put(j)
+		ph.spills.Add(1)
+		busy = true
+	}
+	if busy && !ph.rt.lot.unparkOne() {
+		ph.spawnWorker()
+	}
+}
+
+// finish updates measurements, publishes successor jobs and feeds the
+// controller after a job completes.
+func (ph *phase) finish(w *worker, j *job, dur time.Duration, end time.Time) {
+	switch j.id % 3 {
+	case 0: // gather: enable the compute task
+		// The plain write to tmDur is published to the compute task's
+		// executor by the deque/overflow atomics inside dispatch.
+		ph.tmDur[j.pair()] = dur
+		ph.sumTm.Add(int64(dur))
+		ph.nTm.Add(1)
+		ph.dispatch(w, &ph.jobs[j.id+1])
+	case 1: // compute
+		ph.completed.Add(1)
+		if sc := &ph.jobs[j.id+1]; sc.fn != nil || sc.fnE != nil {
+			ph.dispatch(w, sc)
 		}
-		if ph.aborted {
-			// The phase was torn down while this task ran: the result
-			// is dropped, the memory slot above is already released.
-			r.cond.Broadcast()
-			r.mu.Unlock()
-			return
+		ph.sumTc.Add(int64(dur))
+		ph.nTc.Add(1)
+		// A completed memory/compute pair feeds an adaptive controller
+		// with real wall-clock timings; a Fixed throttler ignores
+		// samples and its limit never moves, so the lock is skipped.
+		if ph.adaptive {
+			ph.feedController(j.pair(), dur, end)
 		}
-		ph.finish(j, dur)
+	}
+	if ph.remain.Add(-1) == 0 {
+		ph.signalDone()
+		ph.rt.lot.unparkAll()
+	}
+}
+
+// feedController delivers one pair sample under ctrlMu, mirrors the
+// possibly-moved MTL into the gate, and — only when the limit rose —
+// wakes the gate-blocked sleepers the new headroom can admit.
+func (ph *phase) feedController(pair int, dur time.Duration, end time.Time) {
+	r := ph.rt
+	r.ctrlMu.Lock()
+	r.th.OnPair(core.PairSample{
+		Tm:  core.Time(ph.tmDur[pair].Seconds()),
+		Tc:  core.Time(dur.Seconds()),
+		Now: core.Time(end.Sub(ph.start).Seconds()),
+	})
+	oldLimit := r.gate.limit.Load()
+	newLimit := int64(r.th.MTL())
+	r.gate.limit.Store(newLimit)
+	r.ctrlMu.Unlock()
+	if newLimit > oldLimit {
+		// New admission headroom: wake everyone (many sleepers may be
+		// gate-blocked) and grow the pool by one; dispatch pressure
+		// grows it further if that is still not enough.
+		r.lot.unparkAll()
+		ph.spawnWorker()
 	}
 }
 
 // runWithRetry executes one task under the retry policy, returning
-// the successful attempt's duration and the number of attempts made.
-// Each attempt re-registers the task with the stall watchdog; backoff
-// sleeps observe cancellation.
-func (ph *phase) runWithRetry(slot int, j *job) (dur time.Duration, attempts int, err error) {
+// the successful attempt's duration and end time plus the number of
+// attempts made. Each attempt re-registers the task with the stall
+// watchdog; backoff sleeps observe cancellation.
+func (ph *phase) runWithRetry(slot int, j *job) (dur time.Duration, end time.Time, attempts int, err error) {
 	pol := ph.rt.cfg.Retry
+	if ph.watch {
+		f := &ph.flight[slot]
+		defer f.clear()
+	}
 	var rng *rand.Rand
 	for attempts = 1; ; attempts++ {
-		ph.rt.mu.Lock()
-		ph.flight[slot] = flightRec{active: true, pair: j.pair, memory: j.memory, start: time.Now()}
-		ph.rt.mu.Unlock()
-
+		if ph.watch {
+			ph.flight[slot].set(j.pair())
+		}
 		t0 := time.Now()
 		err = ph.runTask(j)
 		if err == nil {
-			return time.Since(t0), attempts, nil
+			end = time.Now()
+			return end.Sub(t0), end, attempts, nil
 		}
 		if !pol.enabled() || attempts >= pol.MaxAttempts {
 			if attempts > 1 {
 				err = fmt.Errorf("%w (after %d attempts)", err, attempts)
 			}
-			return 0, attempts, err
+			return 0, end, attempts, err
 		}
 		if ph.ctx.Err() != nil {
-			return 0, attempts, err
+			return 0, end, attempts, err
 		}
 		if rng == nil {
 			// Decorrelated per worker, reproducible per seed.
@@ -599,7 +981,7 @@ func (ph *phase) runWithRetry(slot int, j *job) (dur time.Duration, attempts int
 		case <-timer.C:
 		case <-ph.ctx.Done():
 			timer.Stop()
-			return 0, attempts, err
+			return 0, end, attempts, err
 		}
 	}
 }
@@ -609,67 +991,26 @@ func (ph *phase) runWithRetry(slot int, j *job) (dur time.Duration, attempts int
 func (ph *phase) runTask(j *job) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			err = fmt.Errorf("host: pair %d %s task panicked: %v", j.pair, taskName(j), rec)
+			err = fmt.Errorf("host: pair %d %s task panicked: %v", j.pair(), taskName(j), rec)
 		}
 	}()
-	if taskErr := j.fn(); taskErr != nil {
-		return fmt.Errorf("host: pair %d %s task failed: %w", j.pair, taskName(j), taskErr)
+	if j.fnE != nil {
+		if taskErr := j.fnE(); taskErr != nil {
+			return fmt.Errorf("host: pair %d %s task failed: %w", j.pair(), taskName(j), taskErr)
+		}
+		return nil
 	}
+	j.fn()
 	return nil
 }
 
 func taskName(j *job) string {
-	switch {
-	case !j.memory:
-		return "compute"
-	case j.id%3 == 0:
+	switch j.id % 3 {
+	case 0:
 		return "memory"
+	case 1:
+		return "compute"
 	default:
 		return "scatter"
 	}
-}
-
-// abortLocked empties the queues, marks the phase dead and wakes
-// everyone: blocked workers exit, RunContext returns. Caller holds
-// rt.mu.
-func (ph *phase) abortLocked() {
-	ph.aborted = true
-	ph.readyMem = nil
-	ph.readyComp = nil
-	ph.remain = 0
-	ph.signalDoneLocked()
-	ph.rt.cond.Broadcast()
-}
-
-// finish updates queues, measurements and the controller after a job
-// completes. Caller holds rt.mu; broadcasts to wake blocked workers.
-func (ph *phase) finish(j *job, dur time.Duration) {
-	r := ph.rt
-	if j.memory {
-		if j.id%3 == 0 { // gather: enable the compute task
-			ph.tmDur[j.pair] = dur
-			ph.sumTm += dur
-			ph.nTm++
-			ph.readyComp = insert(ph.readyComp, &job{id: j.id + 1, pair: j.pair, fn: ph.comp[j.pair]})
-		}
-	} else {
-		ph.sumTc += dur
-		ph.nTc++
-		ph.completed++
-		if ph.scat[j.pair] != nil {
-			ph.readyMem = insert(ph.readyMem, &job{id: j.id + 1, pair: j.pair, memory: true, fn: ph.scat[j.pair]})
-		}
-		// A completed memory/compute pair feeds the controller with
-		// real wall-clock timings.
-		r.th.OnPair(core.PairSample{
-			Tm:  core.Time(ph.tmDur[j.pair].Seconds()),
-			Tc:  core.Time(dur.Seconds()),
-			Now: core.Time(time.Since(ph.start).Seconds()),
-		})
-	}
-	ph.remain--
-	if ph.remain == 0 {
-		ph.signalDoneLocked()
-	}
-	r.cond.Broadcast()
 }

@@ -1,19 +1,32 @@
 package host
 
 import (
+	"sync/atomic"
 	"time"
 
 	"memthrottle/internal/core"
 )
 
 // flightRec tracks one worker's in-flight task for the stall watchdog.
-// Guarded by Runtime.mu.
+// All fields are atomics: the worker publishes set/clear without taking
+// any lock, and the watchdog scans without stopping the world.
 type flightRec struct {
-	active  bool
-	stalled bool // already flagged; a task stalls at most once
-	pair    int
-	memory  bool
-	start   time.Time
+	pair    atomic.Int64
+	start   atomic.Int64 // attempt start, UnixNano; 0 = idle
+	stalled atomic.Bool  // already flagged; a task stalls at most once
+}
+
+// set registers the start of one task attempt. Order matters: the pair
+// is published before the start timestamp arms the watchdog.
+func (f *flightRec) set(pair int) {
+	f.pair.Store(int64(pair))
+	f.stalled.Store(false)
+	f.start.Store(time.Now().UnixNano())
+}
+
+// clear disarms the record after the task returns.
+func (f *flightRec) clear() {
+	f.start.Store(0)
 }
 
 // watchdog periodically scans the flight registry for tasks that have
@@ -38,32 +51,47 @@ func (ph *phase) watchdog() {
 			return
 		case <-t.C:
 		}
-		r.mu.Lock()
+		now := time.Now().UnixNano()
 		for i := range ph.flight {
 			f := &ph.flight[i]
-			if !f.active || f.stalled || time.Since(f.start) <= r.cfg.StallTimeout {
+			start := f.start.Load()
+			if start == 0 || f.stalled.Load() || now-start <= int64(r.cfg.StallTimeout) {
 				continue
 			}
-			f.stalled = true
+			f.stalled.Store(true)
+			ph.wdMu.Lock()
 			ph.stalls++
-			ph.stalledPairs = append(ph.stalledPairs, f.pair)
-			if ph.stalls >= r.cfg.StallFallbackAfter {
-				r.degradeLocked(ph)
+			ph.stalledPairs = append(ph.stalledPairs, int(f.pair.Load()))
+			degrade := ph.stalls >= r.cfg.StallFallbackAfter
+			ph.wdMu.Unlock()
+			// The flagged worker may be wedged for good; with lazily
+			// spawned workers it could even be the only one alive, so
+			// grow the pool by a replacement to keep the phase moving.
+			ph.spawnWorker()
+			if degrade {
+				r.degrade(ph)
 			}
 		}
-		r.mu.Unlock()
 	}
 }
 
-// degradeLocked pins an adaptive Dynamic controller to the
-// conventional MTL and records the fallback. Caller holds r.mu.
-func (r *Runtime) degradeLocked(ph *phase) {
+// degrade pins an adaptive Dynamic controller to the conventional MTL,
+// mirrors the widened limit into the gate and records the fallback.
+func (r *Runtime) degrade(ph *phase) {
+	r.ctrlMu.Lock()
 	d, ok := r.th.(*core.Dynamic)
 	if !ok || d.Degraded() {
+		r.ctrlMu.Unlock()
 		return
 	}
 	d.ForceConventional()
+	r.gate.limit.Store(int64(d.MTL()))
+	r.ctrlMu.Unlock()
+	ph.wdMu.Lock()
 	ph.degraded = true
-	// The MTL just widened to the worker count: wake gated workers.
-	r.cond.Broadcast()
+	ph.wdMu.Unlock()
+	// The MTL just widened to the worker count: wake gated workers and
+	// grow the pool (dispatch pressure takes it the rest of the way).
+	r.lot.unparkAll()
+	ph.spawnWorker()
 }

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // PairSample is one completed memory/compute task pair as observed by
 // the runtime: the measured durations plus the completion wall-clock
@@ -15,6 +18,12 @@ type PairSample struct {
 // and updates it as pair completions stream in. Implementations:
 // Fixed (conventional / offline-selected static MTL), Dynamic (the
 // paper's mechanism), and OnlineExhaustive (the naive baseline, §V).
+//
+// Concurrency contract: MTL() is safe to call from any goroutine at
+// any time (implementations back it with an atomic load); every other
+// method mutates controller state and must be externally serialized —
+// the host runtime takes its controller lock around OnPair and
+// degradation, the simulator is single-threaded.
 type Throttler interface {
 	// Name identifies the policy in reports.
 	Name() string
@@ -85,7 +94,7 @@ type Dynamic struct {
 	w     int
 	opts  DynamicOptions
 
-	mtl       int
+	mtl       atomic.Int32
 	sel       *Selector
 	win       window
 	watching  bool
@@ -145,8 +154,12 @@ func (d *Dynamic) Name() string {
 	}
 }
 
-// MTL implements Throttler.
-func (d *Dynamic) MTL() int { return d.mtl }
+// MTL implements Throttler. The read is a single atomic load: the
+// host runtime's workers and samplers may call it concurrently with
+// the (externally serialized) OnPair/ForceConventional writers. All
+// other Throttler methods remain single-writer: callers must serialize
+// mutations, only MTL() is safe to read from other goroutines.
+func (d *Dynamic) MTL() int { return int(d.mtl.Load()) }
 
 // Monitoring implements Throttler: the mechanism measures individual
 // tasks both while probing and while watching for phase changes. A
@@ -179,10 +192,10 @@ func (d *Dynamic) ForceConventional() {
 	}
 	d.degraded = true
 	d.guard.h.Fallbacks++
-	d.mtl = d.model.N
+	d.mtl.Store(int32(d.model.N))
 	d.watching = false
 	d.win.reset()
-	d.History = append(d.History, d.mtl)
+	d.History = append(d.History, d.model.N)
 }
 
 func (d *Dynamic) startSelection() {
@@ -197,7 +210,7 @@ func (d *Dynamic) startSelection() {
 	if done {
 		panic("core: selector done before any probe")
 	}
-	d.mtl = k
+	d.mtl.Store(int32(k))
 	d.win.reset()
 }
 
@@ -252,15 +265,15 @@ func (d *Dynamic) OnPair(s PairSample) {
 	}
 
 	// Selection in progress: this window measured the current probe.
-	d.sel.Record(d.mtl, m)
+	d.sel.Record(int(d.mtl.Load()), m)
 	k, done := d.sel.NextProbe()
 	if !done {
-		d.mtl = k
+		d.mtl.Store(int32(k))
 		return
 	}
 	dmtl, _ := d.sel.Decision()
 	d.TotalProbes += d.sel.Probes()
-	d.mtl = dmtl
+	d.mtl.Store(int32(dmtl))
 	d.watching = true
 	d.History = append(d.History, dmtl)
 	ref := m
@@ -289,7 +302,7 @@ type OnlineExhaustive struct {
 	w         int
 	threshold float64
 
-	mtl      int
+	mtl      atomic.Int32
 	win      window
 	probing  bool
 	probeK   int
@@ -328,8 +341,9 @@ func NewOnlineExhaustive(model Model, w int, threshold float64) *OnlineExhaustiv
 // Name implements Throttler.
 func (o *OnlineExhaustive) Name() string { return "online-exhaustive" }
 
-// MTL implements Throttler.
-func (o *OnlineExhaustive) MTL() int { return o.mtl }
+// MTL implements Throttler. Like Dynamic.MTL, this is an atomic load
+// safe to call concurrently with the single-writer OnPair.
+func (o *OnlineExhaustive) MTL() int { return int(o.mtl.Load()) }
 
 // Monitoring implements Throttler.
 func (o *OnlineExhaustive) Monitoring() bool { return true }
@@ -339,7 +353,7 @@ func (o *OnlineExhaustive) startProbe() {
 	o.probeK = 1
 	o.bestK = 0
 	o.bestSpan = 0
-	o.mtl = 1
+	o.mtl.Store(1)
 	o.win.reset()
 	o.Selections++
 }
@@ -366,11 +380,11 @@ func (o *OnlineExhaustive) OnPair(s PairSample) {
 		}
 		if o.probeK < o.model.N {
 			o.probeK++
-			o.mtl = o.probeK
+			o.mtl.Store(int32(o.probeK))
 			return
 		}
 		// Sweep finished: adopt the fastest group.
-		o.mtl = o.bestK
+		o.mtl.Store(int32(o.bestK))
 		o.probing = false
 		o.havePrev = false
 		o.History = append(o.History, o.bestK)

@@ -1,8 +1,8 @@
-// Package prof wires pprof CPU and heap profiling into the CLIs. It
-// exists so every command handles profiles identically: paths are
-// opened (and thus validated) before any simulation work starts, and
-// Stop flushes both profiles on every exit path — including error
-// returns — as long as the caller defers it.
+// Package prof wires pprof CPU, heap, mutex and block profiling into
+// the CLIs. It exists so every command handles profiles identically:
+// paths are opened (and thus validated) before any simulation work
+// starts, and Stop flushes every profile on every exit path —
+// including error returns — as long as the caller defers it.
 package prof
 
 import (
@@ -12,21 +12,58 @@ import (
 	"runtime/pprof"
 )
 
+// Profiles names the capture paths for one session; empty fields are
+// skipped. CPU streams for the whole session; Mem, Mutex and Block are
+// snapshotted at Stop time, when the picture is complete.
+type Profiles struct {
+	CPU   string
+	Mem   string
+	Mutex string // sync contention (runtime.SetMutexProfileFraction)
+	Block string // blocking events (runtime.SetBlockProfileRate)
+}
+
 // Session is a running profile capture. The zero value (from Start
 // with empty paths) is a valid no-op.
 type Session struct {
-	cpuFile *os.File
-	memPath string
+	cpuFile   *os.File
+	memPath   string
+	mutexPath string
+	blockPath string
+
+	prevMutexFraction int
+	blockRateSet      bool
 }
 
-// Start begins the captures requested by the (possibly empty) flag
-// values. It fails fast: an unwritable path is reported before the
+// Start begins CPU and heap captures — the original two-profile entry
+// point, kept for callers that have no contention flags.
+func Start(cpuPath, memPath string) (*Session, error) {
+	return StartAll(Profiles{CPU: cpuPath, Mem: memPath})
+}
+
+// StartAll begins every capture requested by the (possibly empty)
+// paths. It fails fast: an unwritable path is reported before the
 // caller burns minutes of simulation, not after. On error, anything
 // already started is torn down.
-func Start(cpuPath, memPath string) (*Session, error) {
-	s := &Session{memPath: memPath}
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
+//
+// Requesting a mutex or block profile turns the corresponding runtime
+// sampler on (mutex fraction 1, block rate 1 — every event) for the
+// lifetime of the session; Stop restores the previous settings, so the
+// instrumented window is exactly Start..Stop.
+func StartAll(p Profiles) (*Session, error) {
+	s := &Session{memPath: p.Mem, mutexPath: p.Mutex, blockPath: p.Block}
+	// Validate the Stop-time paths first — cheapest to unwind.
+	for _, path := range []string{p.Mem, p.Mutex, p.Block} {
+		if path == "" {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create profile: %w", err)
+		}
+		f.Close()
+	}
+	if p.CPU != "" {
+		f, err := os.Create(p.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
 		}
@@ -36,52 +73,69 @@ func Start(cpuPath, memPath string) (*Session, error) {
 		}
 		s.cpuFile = f
 	}
-	if memPath != "" {
-		// Validate writability now; the heap snapshot is written at
-		// Stop time, when the allocation picture is complete.
-		f, err := os.Create(memPath)
-		if err != nil {
-			if s.cpuFile != nil {
-				pprof.StopCPUProfile()
-				s.cpuFile.Close()
-			}
-			return nil, fmt.Errorf("prof: create mem profile: %w", err)
-		}
-		f.Close()
+	if p.Mutex != "" {
+		s.prevMutexFraction = runtime.SetMutexProfileFraction(1)
+	}
+	if p.Block != "" {
+		runtime.SetBlockProfileRate(1)
+		s.blockRateSet = true
 	}
 	return s, nil
 }
 
-// Stop flushes and closes every active capture. It is idempotent and
-// safe to defer immediately after a successful Start.
+// Stop flushes and closes every active capture and restores the
+// runtime sampler settings. It is idempotent and safe to defer
+// immediately after a successful Start.
 func (s *Session) Stop() error {
 	if s == nil {
 		return nil
 	}
 	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	if s.cpuFile != nil {
 		pprof.StopCPUProfile()
-		if err := s.cpuFile.Close(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("prof: close cpu profile: %w", err)
+		if err := s.cpuFile.Close(); err != nil {
+			keep(fmt.Errorf("prof: close cpu profile: %w", err))
 		}
 		s.cpuFile = nil
 	}
 	if s.memPath != "" {
-		f, err := os.Create(s.memPath)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("prof: create mem profile: %w", err)
-			}
-		} else {
-			runtime.GC() // materialize the final live-heap picture
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("prof: write mem profile: %w", err)
-			}
-			if err := f.Close(); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("prof: close mem profile: %w", err)
-			}
-		}
+		runtime.GC() // materialize the final live-heap picture
+		keep(writeLookup("allocs", s.memPath))
 		s.memPath = ""
 	}
+	if s.mutexPath != "" {
+		keep(writeLookup("mutex", s.mutexPath))
+		runtime.SetMutexProfileFraction(s.prevMutexFraction)
+		s.mutexPath = ""
+	}
+	if s.blockPath != "" {
+		keep(writeLookup("block", s.blockPath))
+		s.blockPath = ""
+	}
+	if s.blockRateSet {
+		runtime.SetBlockProfileRate(0)
+		s.blockRateSet = false
+	}
 	return firstErr
+}
+
+// writeLookup snapshots one named runtime profile to path.
+func writeLookup(name, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: create %s profile: %w", name, err)
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: write %s profile: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("prof: close %s profile: %w", name, err)
+	}
+	return nil
 }

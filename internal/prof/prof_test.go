@@ -3,7 +3,10 @@ package prof
 import (
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestStartStopWritesProfiles(t *testing.T) {
@@ -71,5 +74,62 @@ func TestNoOpSession(t *testing.T) {
 	var nilSession *Session
 	if err := nilSession.Stop(); err != nil {
 		t.Fatal("nil session Stop errored")
+	}
+}
+
+func TestStartAllWritesContentionProfiles(t *testing.T) {
+	dir := t.TempDir()
+	p := Profiles{
+		Mutex: filepath.Join(dir, "mutex.out"),
+		Block: filepath.Join(dir, "block.out"),
+	}
+	s, err := StartAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate one contended critical section and one block event so
+	// the samplers (armed at rate 1) have something to record.
+	var mu sync.Mutex
+	mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		mu.Unlock()
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	mu.Unlock()
+	<-done
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil { // idempotent
+		t.Fatalf("second Stop: %v", err)
+	}
+	if got := runtime.SetMutexProfileFraction(-1); got != 0 {
+		t.Errorf("mutex profile fraction not restored: %d", got)
+	}
+	for _, path := range []string{p.Mutex, p.Block} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestStartAllFailsFastOnUnwritableContentionPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "p.out")
+	if _, err := StartAll(Profiles{Mutex: bad}); err == nil {
+		t.Fatal("unwritable mutex path did not fail")
+	}
+	if _, err := StartAll(Profiles{Block: bad}); err == nil {
+		t.Fatal("unwritable block path did not fail")
+	}
+	// Failed Start must leave the samplers off.
+	if got := runtime.SetMutexProfileFraction(-1); got != 0 {
+		t.Errorf("mutex sampler left on after failed Start: %d", got)
 	}
 }
