@@ -14,9 +14,12 @@ HOT_BENCHES  = BenchmarkDRAMAccess|BenchmarkStreamPump|BenchmarkCalibrate|Benchm
 
 # Host-runtime dispatch benchmarks, pinned against the pre-rewrite
 # mutex-and-broadcast runtime so the lock-free gate/deque win stays
-# measured. The 8/32/64 variants show dispatch cost staying flat as the
-# worker pool grows.
-HOST_BENCHES = BenchmarkHostRuntimeThroughput|BenchmarkHostRuntimeThroughput8|BenchmarkHostRuntimeThroughput32|BenchmarkHostRuntimeThroughput64
+# measured. The 8/32 variants guard the unsharded (Domains=1) dispatch
+# path; 64 runs 2 memory domains and 128/256 run 4, pinning the
+# sharded-gate scaling past the old single-gate plateau; the
+# Domains64x* trio holds workers at 64 and varies only the domain
+# count.
+HOST_BENCHES = BenchmarkHostRuntimeThroughput|BenchmarkHostRuntimeThroughput8|BenchmarkHostRuntimeThroughput32|BenchmarkHostRuntimeThroughput64|BenchmarkHostRuntimeThroughput128|BenchmarkHostRuntimeThroughput256|BenchmarkHostRuntimeDomains64x1|BenchmarkHostRuntimeDomains64x2|BenchmarkHostRuntimeDomains64x4
 
 # Benchmarks pinned allocation-free by `make bench-check`: the
 # zero-allocation hot paths from the PR 2 work must never regrow an

@@ -8,6 +8,7 @@
 //	mtlbench -all -quick -j 8     # same, fanned out over 8 workers
 //	mtlbench -fig F14             # one artifact
 //	mtlbench -fig F13a -step 0.02 # denser Fig. 13 sweep
+//	mtlbench -fig D1              # sharded-memory-domain sweep (1/2/4 domains)
 //	mtlbench -all -quick -timings BENCH_baseline.json
 //	mtlbench -fig F14 -quick -cpuprofile cpu.out -memprofile mem.out
 //	mtlbench -all -cache-dir .mtlcache  # repeat runs replay from disk

@@ -14,14 +14,22 @@
 // and the retry policy carries the run to completion; a deadline bounds
 // the whole phase. This demonstrates the fault-tolerance layer end to
 // end on live goroutines.
+//
+// With -domains N the runtime shards into N memory domains: per-domain
+// MTL gates, sharded overflow lists and locality-aware stealing. The
+// per-domain dispatch counters (steals, remote steal-half visits,
+// spills, parks, idle time) print per policy, and -timings writes the
+// whole set as a JSON snapshot.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"time"
 
@@ -29,9 +37,24 @@ import (
 	"memthrottle/internal/prof"
 )
 
+// domainSnapshot is one policy's entry in the -timings JSON file: the
+// headline run stats plus the per-domain dispatch counters.
+type domainSnapshot struct {
+	Policy       string             `json:"policy"`
+	Workers      int                `json:"workers"`
+	DomainCount  int                `json:"domain_count"`
+	TotalMs      int64              `json:"total_ms"`
+	PeakMemTasks int                `json:"peak_mem_tasks"`
+	FinalMTL     int                `json:"final_mtl"`
+	Spills       int                `json:"spills"`
+	Domains      []host.DomainStats `json:"domains"`
+}
+
 func main() {
 	log.SetFlags(0)
 	chaos := flag.Bool("chaos", false, "inject faults (spikes, errors, panics) and recover via retry")
+	domains := flag.Int("domains", 1, "shard the runtime into N memory domains (per-domain MTL gates)")
+	timings := flag.String("timings", "", "write per-policy stats incl. per-domain counters to this JSON file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
 	mtxprofile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
@@ -54,7 +77,10 @@ func main() {
 	}()
 
 	workers := runtime.GOMAXPROCS(0)
-	fmt.Printf("host: %d worker goroutines\n\n", workers)
+	if *domains < 1 {
+		log.Fatalf("-domains %d: domain count must be >= 1", *domains)
+	}
+	fmt.Printf("host: %d worker goroutines, %d memory domain(s)\n\n", workers, *domains)
 
 	arrays, err := host.NewArraySet(64, 1<<20)
 	if err != nil {
@@ -66,7 +92,9 @@ func main() {
 		return
 	}
 
+	var snaps []domainSnapshot
 	run := func(name string, cfg host.Config) {
+		cfg.Domains = *domains
 		rt, err := host.New(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -93,6 +121,21 @@ func main() {
 		}
 		fmt.Printf("%-18s total %6dms  peak mem tasks %d  final MTL %d  decisions %v\n",
 			name, total, last.MaxConcurrentM, last.FinalMTL, last.MTLDecisions)
+		for d, ds := range last.Domains {
+			fmt.Printf("    domain %d: %d pairs, %d steals (%d remote moving %d jobs), %d spills, %d parks, idle %v\n",
+				d, ds.Pairs, ds.Steals+ds.RemoteSteals, ds.RemoteSteals, ds.StolenJobs,
+				ds.Spills, ds.Parks, ds.Idle.Round(time.Microsecond))
+		}
+		snaps = append(snaps, domainSnapshot{
+			Policy:       name,
+			Workers:      workers,
+			DomainCount:  *domains,
+			TotalMs:      total,
+			PeakMemTasks: last.MaxConcurrentM,
+			FinalMTL:     last.FinalMTL,
+			Spills:       last.Spills,
+			Domains:      last.Domains,
+		})
 	}
 
 	run("conventional", host.Config{Workers: workers, Policy: host.Conventional})
@@ -101,6 +144,17 @@ func main() {
 		run("dynamic", host.Config{Workers: workers, Policy: host.Dynamic, W: 8})
 	} else {
 		fmt.Println("(single-CPU host: adaptive policies need >= 2 workers; skipping)")
+	}
+
+	if *timings != "" {
+		b, err := json.MarshalIndent(snaps, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*timings, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote per-domain stats snapshot to %s\n", *timings)
 	}
 }
 

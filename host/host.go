@@ -11,12 +11,29 @@
 // instead of globally sorted slices, and workers that go idle park on
 // a waiter list and receive targeted wakeups — one notify per dispatch
 // opportunity — rather than a Broadcast to every worker on every task
-// completion. The paper's semantics are preserved exactly: never more
-// than MTL memory tasks in flight (admission-time), compute after its
-// pair's memory task, scatter after compute, and per-pair monitoring
-// feeding the controller. Stats totals (Pairs, CompletedPairs, peak
-// concurrency, decision history) remain deterministic for a given
-// workload and policy; the task interleaving across workers is not.
+// completion.
+//
+// The machine can further be sharded into independent memory domains
+// (Config.Domains), the host analogue of the paper's 2-DIMM platform
+// (§V) where each DIMM's channel contends independently. Every pair
+// has a home domain (pair index modulo Domains, or Config.Domain),
+// admission runs against the home domain's own MTL gate, the overflow
+// lists are sharded per domain, and victim selection in the stealing
+// deques is locality-aware: a worker drains its home domain first and
+// falls back to remote domains with steal-half semantics — one remote
+// visit transfers up to half the victim's queue, amortising the
+// cross-domain penalty as in Gast et al.'s work-stealing-with-latency
+// analysis — with every remote steal counted in Stats.Domains. With
+// Domains = 1 (the default) all of this degenerates to the single
+// global gate and list of the unsharded runtime.
+//
+// The paper's semantics are preserved exactly: never more than MTL
+// memory tasks in flight per domain (admission-time), compute after
+// its pair's memory task, scatter after compute, and per-pair
+// monitoring feeding the controller. Stats totals (Pairs,
+// CompletedPairs, peak concurrency, decision history) remain
+// deterministic for a given workload and policy; the task interleaving
+// across workers is not.
 //
 // Unlike the paper's pthread runtime, goroutines cannot be pinned to
 // cores portably — the Go scheduler multiplexes them — so wall-clock
@@ -135,10 +152,21 @@ type Config struct {
 	Workers int
 	// Policy selects the controller. Default: Dynamic.
 	Policy Policy
-	// MTL is the fixed limit for the Static policy.
+	// MTL is the fixed limit for the Static policy. With Domains > 1
+	// it is the per-domain limit: each domain admits up to MTL
+	// concurrent memory tasks homed there, exactly as each DIMM of the
+	// paper's 2-DIMM platform carries its own MTL.
 	MTL int
 	// W is the monitor window for adaptive policies. Default: 16.
 	W int
+	// Domains shards the runtime into independent memory domains:
+	// per-domain MTL gates, per-domain overflow lists and
+	// locality-aware stealing. Default: 1 (the unsharded runtime).
+	Domains int
+	// Domain maps a pair index to its home domain in [0, Domains).
+	// nil homes pair i at i % Domains. Use it to mirror the real
+	// placement of each pair's footprint (NUMA node, DIMM).
+	Domain func(pair int) int
 	// Retry re-executes tasks that return an error or panic. The zero
 	// value disables retry.
 	Retry RetryPolicy
@@ -165,6 +193,9 @@ func (c Config) withDefaults() Config {
 	if c.W == 0 {
 		c.W = 16
 	}
+	if c.Domains == 0 {
+		c.Domains = 1
+	}
 	if c.StallTimeout > 0 && c.StallFallbackAfter == 0 {
 		c.StallFallbackAfter = 3
 	}
@@ -179,6 +210,12 @@ func (c Config) validate() error {
 	}
 	if c.W < 1 {
 		return fmt.Errorf("host: W = %d, want >= 1", c.W)
+	}
+	if c.Domains < 1 {
+		return fmt.Errorf("host: Domains = %d, want >= 1", c.Domains)
+	}
+	if c.Domain != nil && c.Domains < 2 {
+		return fmt.Errorf("host: Domain assignment set with %d domain(s)", c.Domains)
 	}
 	if c.Policy == Static && (c.MTL < 1 || c.MTL > c.Workers) {
 		return fmt.Errorf("host: static MTL = %d, want within [1, %d]", c.MTL, c.Workers)
@@ -207,6 +244,20 @@ func (c Config) validate() error {
 	return nil
 }
 
+// DomainStats is the per-domain slice of one Run's dispatch activity.
+// Steal counters are attributed to the domain of the stolen jobs;
+// Parks and Idle to the domain the parking worker is homed at.
+type DomainStats struct {
+	Pairs        int           // pairs homed in this domain
+	Steals       int           // same-domain steals (thief homed here)
+	RemoteSteals int           // cross-domain steal visits into this domain
+	StolenJobs   int           // jobs moved by remote steal-half visits
+	Spills       int           // jobs that overflowed a deque into this domain's shared list
+	Parks        int           // park events of workers homed here
+	Idle         time.Duration // time workers homed here spent parked
+	PeakActive   int           // peak concurrent admitted memory tasks
+}
+
 // Stats summarises one Run. On a cancelled or failed run the counters
 // cover the completed prefix of the work.
 type Stats struct {
@@ -217,7 +268,7 @@ type Stats struct {
 	MTLDecisions   []int
 	MeanTm         time.Duration // mean memory-task duration
 	MeanTc         time.Duration // mean compute-task duration
-	MaxConcurrentM int           // observed peak concurrent memory tasks
+	MaxConcurrentM int           // observed peak concurrent memory tasks, all domains
 
 	Retries   int   // task re-executions performed
 	Recovered int   // tasks that succeeded after at least one retry
@@ -225,7 +276,12 @@ type Stats struct {
 	Stalled   []int // pair index of each flagged task, in detection order
 	Degraded  bool  // Dynamic controller fell back to Conventional
 	Cancelled bool  // run ended early on cancellation or deadline
-	Spills    int   // jobs that overflowed a worker deque into the shared list
+	Spills    int   // jobs that overflowed a worker deque into a shared list
+
+	// Domains holds the per-domain dispatch counters, one entry per
+	// configured memory domain (a single entry for the default
+	// unsharded runtime).
+	Domains []DomainStats
 }
 
 // Runtime schedules pairs under MTL throttling.
@@ -233,11 +289,18 @@ type Runtime struct {
 	cfg Config
 	th  core.Throttler
 
-	// gate admits memory-class tasks with a CAS against the mirrored
-	// MTL; lot parks idle workers for targeted wakeups. Both span Run
-	// calls so tasks wedged past an abort keep their accounting.
-	gate gate
-	lot  lot
+	// gates admit memory-class tasks with a CAS against the mirrored
+	// MTL, one gate per memory domain; lot parks idle workers for
+	// targeted wakeups. Both span Run calls so tasks wedged past an
+	// abort keep their accounting.
+	gates []gate
+	lot   lot
+
+	// memActive/memPeak aggregate in-flight memory tasks across all
+	// domain gates for Stats.MaxConcurrentM (each gate also keeps its
+	// own per-domain peak).
+	memActive atomic.Int64
+	memPeak   atomic.Int64
 
 	// ctrlMu serializes every controller interaction (OnPair, History,
 	// Health, degradation) plus the phase's timing aggregates. It is
@@ -268,14 +331,56 @@ func New(cfg Config) (*Runtime, error) {
 	default:
 		return nil, fmt.Errorf("host: unknown policy %v", cfg.Policy)
 	}
-	r.gate.limit.Store(int64(r.th.MTL()))
+	r.gates = make([]gate, cfg.Domains)
+	limit := int64(r.th.MTL())
+	for d := range r.gates {
+		r.gates[d].limit.Store(limit)
+	}
 	return r, nil
 }
 
-// MTL reports the currently enforced limit. It is a single atomic load
-// — samplers and watchdogs polling it never contend with workers.
+// MTL reports the currently enforced per-domain limit. It is a single
+// atomic load — samplers and watchdogs polling it never contend with
+// workers.
 func (r *Runtime) MTL() int {
-	return int(r.gate.limit.Load())
+	return int(r.gates[0].limit.Load())
+}
+
+// admit claims a memory-task slot in domain d and maintains the
+// cross-domain peak. The domain gate's CAS is the real admission; the
+// global counters only feed Stats.MaxConcurrentM, and with a single
+// domain the gate's own peak already is the global one, so the
+// unsharded hot path pays no extra atomics.
+func (r *Runtime) admit(d int) bool {
+	if !r.gates[d].tryAcquire() {
+		return false
+	}
+	if len(r.gates) > 1 {
+		n := r.memActive.Add(1)
+		for {
+			p := r.memPeak.Load()
+			if n <= p || r.memPeak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+	}
+	return true
+}
+
+// releaseMem returns domain d's slot.
+func (r *Runtime) releaseMem(d int) {
+	r.gates[d].release()
+	if len(r.gates) > 1 {
+		r.memActive.Add(-1)
+	}
+}
+
+// peakConcurrentM reports the run-wide peak concurrent memory tasks.
+func (r *Runtime) peakConcurrentM() int {
+	if len(r.gates) == 1 {
+		return int(r.gates[0].peak.Load())
+	}
+	return int(r.memPeak.Load())
 }
 
 // Health reports the controller's measurement-guard summary (adaptive
@@ -314,9 +419,9 @@ func (j *job) memory() bool { return j.id%3 != 1 }
 
 // Run executes one phase of pairs to completion and returns its
 // statistics. Within the phase, compute tasks run after their memory
-// tasks, scatters after computes, and at most MTL memory tasks are in
-// flight. Run blocks until the phase completes (the paper's phases
-// are barrier-separated).
+// tasks, scatters after computes, and at most MTL memory tasks per
+// domain are in flight. Run blocks until the phase completes (the
+// paper's phases are barrier-separated).
 func (r *Runtime) Run(pairs []Pair) (Stats, error) {
 	return r.RunContext(context.Background(), pairs)
 }
@@ -359,6 +464,18 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 			total++
 		}
 	}
+	nd := r.cfg.Domains
+	pairDom := make([]int32, len(pairs))
+	for i := range pairs {
+		d := i % nd
+		if r.cfg.Domain != nil {
+			d = r.cfg.Domain(i)
+			if d < 0 || d >= nd {
+				return Stats{}, fmt.Errorf("host: pair %d homed at domain %d, want within [0, %d)", i, d, nd)
+			}
+		}
+		pairDom[i] = int32(d)
+	}
 	if r.cfg.RunTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.cfg.RunTimeout)
@@ -370,7 +487,10 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	if r.closed.Load() {
 		return Stats{}, errors.New("host: runtime closed")
 	}
-	r.gate.resetPeak()
+	r.memPeak.Store(r.memActive.Load())
+	for d := range r.gates {
+		r.gates[d].resetPeak()
+	}
 
 	nw := r.cfg.Workers
 	// Every task of the phase lives in one id-indexed block (3·pair
@@ -380,6 +500,9 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 		rt:      r,
 		ctx:     ctx,
 		jobs:    jobs,
+		nd:      nd,
+		pairDom: pairDom,
+		doms:    make([]domainState, nd),
 		tmDur:   make([]time.Duration, len(pairs)),
 		workers: make([]atomic.Pointer[worker], nw),
 		start:   time.Now(),
@@ -394,16 +517,22 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	ph.adaptive = !fixed
 	ph.remain.Store(int64(total))
 
-	// The initial memory jobs seed the shared FIFO in submission
-	// order, so gathers are admitted lowest pair first exactly as the
-	// old sorted global queue did; each successor job then stays on
-	// the worker that produced it (dispatch) unless stolen.
-	seedJobs := make([]*job, len(pairs))
+	// The initial memory jobs seed each domain's shared FIFO in
+	// submission order, so gathers are admitted lowest pair first
+	// within their domain exactly as the old sorted global queue did;
+	// each successor job then stays on the worker that produced it
+	// (dispatch) unless stolen.
+	seeds := make([][]*job, nd)
 	for i := range pairs {
-		seedJobs[i] = &ph.jobs[3*i]
+		d := pairDom[i]
+		seeds[d] = append(seeds[d], &ph.jobs[3*i])
 	}
-	ph.over.seed(seedJobs)
-	ph.readyMem.Store(int64(len(pairs)))
+	for d := range seeds {
+		ds := &ph.doms[d]
+		ds.pairs = len(seeds[d])
+		ds.over.mem.seed(seeds[d])
+		ds.readyMem.Store(int64(len(seeds[d])))
+	}
 
 	// The canceller propagates ctx into the phase: workers stop
 	// dequeueing and every parked worker is woken, then the run
@@ -422,8 +551,10 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	// the admission limit can run would only park them. The pool grows
 	// toward Config.Workers whenever a publisher cannot drain its own
 	// backlog (dispatch), admissible work outlives a scan (acquire),
-	// the MTL rises, or the watchdog flags a wedged task.
-	n0 := int(r.gate.limit.Load()) + 1
+	// the MTL rises, or the watchdog flags a wedged task. With sharded
+	// domains the admission capacity is the per-domain limit times the
+	// domain count.
+	n0 := int(r.gates[0].limit.Load())*nd + 1
 	if n0 > nw {
 		n0 = nw
 	}
@@ -445,10 +576,25 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 		Elapsed:        time.Since(ph.start),
 		Pairs:          ph.pairs,
 		CompletedPairs: int(ph.completed.Load()),
-		MaxConcurrentM: int(r.gate.peak.Load()),
+		MaxConcurrentM: r.peakConcurrentM(),
 		Retries:        int(ph.retries.Load()),
 		Recovered:      int(ph.recovered.Load()),
-		Spills:         int(ph.spills.Load()),
+	}
+	st.Domains = make([]DomainStats, nd)
+	for d := range st.Domains {
+		ds := &ph.doms[d]
+		spills := int(ds.spills.Load())
+		st.Domains[d] = DomainStats{
+			Pairs:        ds.pairs,
+			Steals:       int(ds.steals.Load()),
+			RemoteSteals: int(ds.remoteSteals.Load()),
+			StolenJobs:   int(ds.stolenJobs.Load()),
+			Spills:       spills,
+			Parks:        int(ds.parks.Load()),
+			Idle:         time.Duration(ds.idleNs.Load()),
+			PeakActive:   int(r.gates[d].peak.Load()),
+		}
+		st.Spills += spills
 	}
 	ph.wdMu.Lock()
 	st.Stalls = ph.stalls
@@ -499,15 +645,39 @@ func (r *Runtime) RunPhases(phases [][]Pair) ([]Stats, error) {
 	return out, nil
 }
 
-// worker is one dispatch loop's private state: two bounded deques
-// (memory-class jobs behind the gate, compute jobs free), a parking
-// slot, and a steal RNG.
+// worker is one dispatch loop's private state: a bounded memory-class
+// deque per domain (admission-gated; mem[home] is the cache-warm one,
+// the others hold steal-half loot and remote-homed scatters), a free
+// compute deque, a parking slot, and a steal RNG. Memory deques are
+// allocated on first push — the seeded overflow feeds most gathers, so
+// a worker that never produces a memory successor never pays for them.
 type worker struct {
 	slot int
-	mem  *deque
+	home int // home memory domain (slot % Domains)
+	mem  []atomic.Pointer[deque]
 	comp *deque
 	park parker
 	rng  uint64
+}
+
+// memQ returns w's deque for domain d, installing it on first use.
+// Only w itself installs (it is the sole pusher into its own deques),
+// so a plain store behind the atomic pointer is race-free; thieves
+// that load nil simply skip the not-yet-existing deque.
+func (w *worker) memQ(d int) *deque {
+	if q := w.mem[d].Load(); q != nil {
+		return q
+	}
+	// The home deque carries the worker's own successor stream; remote
+	// deques only hold steal-half loot and remote-homed scatters, so
+	// they stay small.
+	capQ := 16
+	if d == w.home {
+		capQ = 64
+	}
+	q := newDeque(capQ)
+	w.mem[d].Store(q)
+	return q
 }
 
 // nextRand is a xorshift64* step — cheap decorrelated victim choice.
@@ -520,54 +690,98 @@ func (w *worker) nextRand() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
-// overflow is the shared FIFO job list: it seeds the phase with the
-// initial memory jobs in submission order (the Go scheduler's
-// global-runq seeding its local runqs) and absorbs successor jobs that
-// did not fit a worker's bounded deque. Per-class atomic counts keep
-// the empty case — the steady state once the seed drains — off the
-// mutex entirely.
-type overflow struct {
-	nMem, nComp atomic.Int64
-	mu          sync.Mutex
-	mem, comp   []*job
-}
-
-// seed installs the initial memory jobs. Single-threaded phase setup,
-// before any worker starts.
-func (o *overflow) seed(jobs []*job) {
-	o.mem = jobs
-	o.nMem.Store(int64(len(jobs)))
-}
-
-func (o *overflow) put(j *job) {
-	o.mu.Lock()
-	if j.memory() {
-		o.mem = append(o.mem, j)
-		o.nMem.Add(1)
-	} else {
-		o.comp = append(o.comp, j)
-		o.nComp.Add(1)
+// hasLocalWork reports whether any of the worker's own deques holds a
+// job (racy — used only for the dispatch wake heuristic).
+func (w *worker) hasLocalWork() bool {
+	if w.comp.size() > 0 {
+		return true
 	}
-	o.mu.Unlock()
+	for d := range w.mem {
+		if q := w.mem[d].Load(); q != nil && q.size() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
-func (o *overflow) take(memClass bool) *job {
-	n, q := &o.nComp, &o.comp
-	if memClass {
-		n, q = &o.nMem, &o.mem
-	}
-	if n.Load() == 0 {
+// jobList is one class of a domain's shared overflow FIFO: it seeds
+// the phase with the initial memory jobs in submission order (the Go
+// scheduler's global-runq seeding its local runqs) and absorbs
+// successor jobs that did not fit a worker's bounded deque. The atomic
+// count keeps the empty case — the steady state once the seed drains —
+// off the mutex entirely, and each class owns its lock so a compute
+// probe never blocks a memory admission (or vice versa) while the
+// phase tail drains.
+type jobList struct {
+	n    atomic.Int64
+	mu   sync.Mutex
+	jobs []*job
+	head int
+}
+
+// seed installs the initial jobs. Single-threaded phase setup, before
+// any worker starts.
+func (l *jobList) seed(jobs []*job) {
+	l.jobs = jobs
+	l.n.Store(int64(len(jobs)))
+}
+
+func (l *jobList) put(j *job) {
+	l.mu.Lock()
+	l.jobs = append(l.jobs, j)
+	l.n.Add(1)
+	l.mu.Unlock()
+}
+
+func (l *jobList) take() *job {
+	if l.n.Load() == 0 {
 		return nil
 	}
-	o.mu.Lock()
+	l.mu.Lock()
 	var j *job
-	if len(*q) > 0 {
-		j = (*q)[0]
-		*q = (*q)[1:]
-		n.Add(-1)
+	if l.head < len(l.jobs) {
+		j = l.jobs[l.head]
+		l.jobs[l.head] = nil
+		l.head++
+		if l.head == len(l.jobs) {
+			l.jobs = l.jobs[:0]
+			l.head = 0
+		}
+		l.n.Add(-1)
 	}
-	o.mu.Unlock()
+	l.mu.Unlock()
 	return j
+}
+
+// overflow is one domain's pair of shared FIFO job lists, one per
+// class so cross-class probing never shares a lock.
+type overflow struct {
+	mem  jobList
+	comp jobList
+}
+
+// domainState is one memory domain's share of the phase: its overflow
+// shard, the advisory ready count for its memory class, and the
+// observability counters surfaced as DomainStats.
+type domainState struct {
+	// readyMem is an advisory upper bound on the runnable memory jobs
+	// homed in this domain: publishers increment *before* pushing, so
+	// a zero read proves there is nothing to find and an idle worker
+	// skips the domain's whole admission-and-steal scan (and,
+	// crucially, the wake-another-worker path) with two loads.
+	// Consumers decrement after a successful take, so the count may
+	// transiently overshoot — costing a spurious scan, never a lost
+	// job.
+	readyMem atomic.Int64
+	over     overflow
+	pairs    int // pairs homed here, set at seed time
+
+	steals       atomic.Int64
+	remoteSteals atomic.Int64
+	stolenJobs   atomic.Int64
+	spills       atomic.Int64
+	parks        atomic.Int64
+	idleNs       atomic.Int64
 }
 
 // phase is the shared state of one Run.
@@ -575,26 +789,22 @@ type phase struct {
 	rt      *Runtime
 	ctx     context.Context
 	pairs   int
-	jobs    []job                    // id-indexed task block (3·pair + class)
+	nd      int     // memory domain count
+	pairDom []int32 // home domain per pair
+	jobs    []job   // id-indexed task block (3·pair + class)
+	doms    []domainState
 	workers []atomic.Pointer[worker] // lazily spawned, published per slot
 	spawned atomic.Int32             // worker slots claimed so far
-	over    overflow
 	start   time.Time
 
 	remain    atomic.Int64 // tasks not yet finished
 	completed atomic.Int64 // pairs whose compute finished
 	retries   atomic.Int64
 	recovered atomic.Int64
-	spills    atomic.Int64
 
-	// readyMem/readyComp are advisory upper bounds on the runnable
-	// jobs of each class: publishers increment *before* pushing, so a
-	// zero read proves there is nothing to find and an idle worker
-	// skips the whole admission-and-steal scan (and, crucially, the
-	// wake-another-worker path) with two loads. Consumers decrement
-	// after a successful take, so the counts may transiently overshoot
-	// — costing a spurious scan, never a lost job.
-	readyMem  atomic.Int64
+	// readyComp is the compute-class analogue of the per-domain
+	// readyMem counts (compute tasks are not admission-gated, so one
+	// global advisory count suffices).
 	readyComp atomic.Int64
 
 	watch    bool // stall watchdog armed (Config.StallTimeout > 0)
@@ -625,10 +835,15 @@ type phase struct {
 	doneOnce sync.Once
 }
 
+// domOf reports the home domain of a job's pair.
+func (ph *phase) domOf(j *job) int { return int(ph.pairDom[j.pair()]) }
+
 // spawnWorker starts one more worker goroutine if the pool has not
 // reached Config.Workers yet. Safe from any goroutine; the CAS makes
 // slot claims race-free and the atomic slot publication lets thieves
-// scan concurrently with spawning.
+// scan concurrently with spawning. Workers are homed round-robin
+// across the domains (slot % Domains), so the pool covers every
+// domain as soon as it is Domains wide.
 func (ph *phase) spawnWorker() {
 	nw := ph.rt.cfg.Workers
 	for {
@@ -639,7 +854,8 @@ func (ph *phase) spawnWorker() {
 		if ph.spawned.CompareAndSwap(n, n+1) {
 			w := &worker{
 				slot: int(n),
-				mem:  newDeque(64),
+				home: int(n) % ph.nd,
+				mem:  make([]atomic.Pointer[deque], ph.nd),
 				comp: newDeque(64),
 				rng:  uint64(n)*0x9E3779B97F4A7C15 + 1,
 				park: parker{token: make(chan struct{}, 1)},
@@ -715,13 +931,14 @@ func (ph *phase) work(w *worker) {
 }
 
 // acquire finds the next runnable job, or nil when the worker should
-// park. Memory-class jobs are only returned with a gate slot already
-// held (admission precedes dequeue, so the slot is never claimed for
-// work that does not exist). Search order: own compute (LIFO,
-// cache-warm), spilled compute, then — one admission attempt — own
-// memory, spilled memory, stolen memory, and finally stolen compute.
-// Each class is searched only when its ready count is non-zero, so an
-// idle probe is a handful of loads with no CAS traffic and no wakes.
+// park. Memory-class jobs are only returned with their domain's gate
+// slot already held (admission precedes dequeue, so the slot is never
+// claimed for work that does not exist). Search order: own compute
+// (LIFO, cache-warm), spilled compute (home shard first), then the
+// memory domains in home-first order — one admission attempt each —
+// and finally stolen compute. Each class is searched only when its
+// ready count is non-zero, so an idle probe is a handful of loads with
+// no CAS traffic and no wakes.
 func (ph *phase) acquire(w *worker) *job {
 	if ph.stopped() {
 		return nil
@@ -731,35 +948,20 @@ func (ph *phase) acquire(w *worker) *job {
 			ph.readyComp.Add(-1)
 			return j
 		}
-		if j := ph.over.take(false); j != nil {
-			ph.readyComp.Add(-1)
-			return j
+		for i := 0; i < ph.nd; i++ {
+			if j := ph.doms[(w.home+i)%ph.nd].over.comp.take(); j != nil {
+				ph.readyComp.Add(-1)
+				return j
+			}
 		}
 	}
-	r := ph.rt
-	if ph.readyMem.Load() > 0 && r.gate.tryAcquire() {
-		if j := w.mem.popBottom(); j != nil {
-			ph.readyMem.Add(-1)
+	for i := 0; i < ph.nd; i++ {
+		if j := ph.acquireMem(w, (w.home+i)%ph.nd); j != nil {
 			return j
-		}
-		if j := ph.over.take(true); j != nil {
-			ph.readyMem.Add(-1)
-			return j
-		}
-		if j := ph.steal(w, true); j != nil {
-			ph.readyMem.Add(-1)
-			return j
-		}
-		// Raced away: hand the speculative slot back, and nudge one
-		// sleeper only if there is still admissible work it could run
-		// (spawning a fresh worker if nobody is parked).
-		r.gate.release()
-		if ph.readyMem.Load() > 0 && !r.lot.unparkOne() {
-			ph.spawnWorker()
 		}
 	}
 	if ph.readyComp.Load() > 0 {
-		if j := ph.steal(w, false); j != nil {
+		if j := ph.stealComp(w); j != nil {
 			ph.readyComp.Add(-1)
 			return j
 		}
@@ -767,10 +969,117 @@ func (ph *phase) acquire(w *worker) *job {
 	return nil
 }
 
-// steal scans the other workers' deques from a random start, retrying
-// a victim on CAS contention (the deque may still hold work). Unspawned
-// slots read as nil and are skipped.
-func (ph *phase) steal(w *worker, memClass bool) *job {
+// acquireMem makes one admission attempt against domain d's gate and,
+// with the slot held, searches the domain's work: the worker's own
+// deque for d, the domain's overflow shard, then the other workers'
+// deques for d. A raced-away slot is handed back with a nudge so a
+// sleeper (or a fresh worker) retries while admissible work remains.
+func (ph *phase) acquireMem(w *worker, d int) *job {
+	ds := &ph.doms[d]
+	if ds.readyMem.Load() == 0 {
+		return nil
+	}
+	r := ph.rt
+	if !r.admit(d) {
+		return nil
+	}
+	if q := w.mem[d].Load(); q != nil {
+		if j := q.popBottom(); j != nil {
+			ds.readyMem.Add(-1)
+			return j
+		}
+	}
+	if j := ds.over.mem.take(); j != nil {
+		ds.readyMem.Add(-1)
+		return j
+	}
+	if j := ph.stealMem(w, d); j != nil {
+		ds.readyMem.Add(-1)
+		return j
+	}
+	// Raced away: hand the speculative slot back, and nudge one
+	// sleeper only if there is still admissible work it could run
+	// (spawning a fresh worker if nobody is parked).
+	r.releaseMem(d)
+	if ds.readyMem.Load() > 0 && !r.lot.unparkOne() {
+		ph.spawnWorker()
+	}
+	return nil
+}
+
+// stealMem scans the other workers' domain-d memory deques from a
+// random start, retrying a victim on CAS contention (the deque may
+// still hold work). A same-domain steal (the thief is homed at d)
+// takes a single job, exactly as the unsharded runtime stole. A
+// remote steal applies steal-half semantics: the visit also transfers
+// up to half of the victim's remaining queue into the thief's own
+// deque for d, amortising the cross-domain trip, and is counted per
+// domain so the remote-steal penalty is observable. Unspawned slots
+// read as nil and are skipped.
+func (ph *phase) stealMem(w *worker, d int) *job {
+	n := len(ph.workers)
+	if n == 1 {
+		return nil
+	}
+	ds := &ph.doms[d]
+	remote := d != w.home
+	off := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := ph.workers[(off+i)%n].Load()
+		if v == nil || v == w {
+			continue
+		}
+		q := v.mem[d].Load()
+		if q == nil {
+			continue
+		}
+		j := stealOne(q)
+		if j == nil {
+			continue
+		}
+		if !remote {
+			ds.steals.Add(1)
+			return j
+		}
+		// Steal-half: the target is computed once from the victim's
+		// size at visit time; concurrent thieves simply shrink what is
+		// left to move. Loot that does not fit the thief's bounded
+		// deque spills to the domain's shared list — never lost.
+		moved := 0
+		for target := q.size() / 2; moved < target; {
+			jj := stealOne(q)
+			if jj == nil {
+				break
+			}
+			if !w.memQ(d).push(jj) {
+				ds.over.mem.put(jj)
+				ds.spills.Add(1)
+			}
+			moved++
+		}
+		ds.remoteSteals.Add(1)
+		ds.stolenJobs.Add(int64(1 + moved))
+		return j
+	}
+	return nil
+}
+
+// stealOne drains one job from a deque, retrying CAS races.
+func stealOne(q *deque) *job {
+	for {
+		j, retry := q.steal()
+		if j != nil {
+			return j
+		}
+		if !retry {
+			return nil
+		}
+	}
+}
+
+// stealComp scans the other workers' compute deques from a random
+// start.
+func (ph *phase) stealComp(w *worker) *job {
 	n := len(ph.workers)
 	if n == 1 {
 		return nil
@@ -781,18 +1090,8 @@ func (ph *phase) steal(w *worker, memClass bool) *job {
 		if v == nil || v == w {
 			continue
 		}
-		q := v.comp
-		if memClass {
-			q = v.mem
-		}
-		for {
-			j, retry := q.steal()
-			if j != nil {
-				return j
-			}
-			if !retry {
-				break
-			}
+		if j := stealOne(v.comp); j != nil {
+			return j
 		}
 	}
 	return nil
@@ -802,8 +1101,10 @@ func (ph *phase) steal(w *worker, memClass bool) *job {
 // retries acquisition. Returns nil when the phase is over. The
 // re-scan after enqueueing closes the lost-wakeup window: any job
 // published after that scan sees this worker parked and wakes it.
+// Parked spells are accounted to the worker's home domain.
 func (ph *phase) parkTillWork(w *worker) *job {
 	l := &ph.rt.lot
+	ds := &ph.doms[w.home]
 	for {
 		l.enqueue(&w.park)
 		if ph.stopped() {
@@ -814,7 +1115,10 @@ func (ph *phase) parkTillWork(w *worker) *job {
 			l.cancel(&w.park)
 			return j
 		}
+		ds.parks.Add(1)
+		t0 := time.Now()
 		<-w.park.token
+		ds.idleNs.Add(time.Since(t0).Nanoseconds())
 		if ph.stopped() {
 			return nil
 		}
@@ -830,7 +1134,7 @@ func (ph *phase) parkTillWork(w *worker) *job {
 func (ph *phase) execute(w *worker, j *job) bool {
 	dur, end, attempts, err := ph.runWithRetry(w.slot, j)
 	if j.memory() {
-		ph.rt.gate.release()
+		ph.rt.releaseMem(ph.domOf(j))
 		// No wake on release: while admissible work remains, either
 		// this worker's next acquire or the worker that races it into
 		// the freed slot stays active and keeps draining — waking a
@@ -862,24 +1166,30 @@ func (ph *phase) execute(w *worker, j *job) bool {
 }
 
 // dispatch publishes a successor job to the finishing worker's own
-// deque (or, if that is full, to the shared overflow). The ready count
-// rises before the push so no scanner can prove absence while the job
-// is in flight. No wake is issued when the job is the publisher's only
-// local work: the publisher's very next acquire pops it (own deques
-// are scanned first), so waking a thief would buy nothing; a thief is
-// woken only when the publisher demonstrably cannot drain alone.
+// deque for the job's class and home domain (or, if that is full, to
+// the domain's shared overflow shard). The ready count rises before
+// the push so no scanner can prove absence while the job is in flight.
+// No wake is issued when the job is the publisher's only local work:
+// the publisher's very next acquire pops it (own deques are scanned
+// first), so waking a thief would buy nothing; a thief is woken only
+// when the publisher demonstrably cannot drain alone.
 func (ph *phase) dispatch(w *worker, j *job) {
-	n := &ph.readyComp
-	q := w.comp
-	if j.memory() {
-		n = &ph.readyMem
-		q = w.mem
+	d := ph.domOf(j)
+	ds := &ph.doms[d]
+	mem := j.memory()
+	q, n := w.comp, &ph.readyComp
+	if mem {
+		q, n = w.memQ(d), &ds.readyMem
 	}
-	busy := w.comp.size()+w.mem.size() > 0
+	busy := w.hasLocalWork()
 	n.Add(1)
 	if !q.push(j) {
-		ph.over.put(j)
-		ph.spills.Add(1)
+		if mem {
+			ds.over.mem.put(j)
+		} else {
+			ds.over.comp.put(j)
+		}
+		ds.spills.Add(1)
 		busy = true
 	}
 	if busy && !ph.rt.lot.unparkOne() {
@@ -919,8 +1229,8 @@ func (ph *phase) finish(w *worker, j *job, dur time.Duration, end time.Time) {
 }
 
 // feedController delivers one pair sample under ctrlMu, mirrors the
-// possibly-moved MTL into the gate, and — only when the limit rose —
-// wakes the gate-blocked sleepers the new headroom can admit.
+// possibly-moved MTL into every domain gate, and — only when the limit
+// rose — wakes the gate-blocked sleepers the new headroom can admit.
 func (ph *phase) feedController(pair int, dur time.Duration, end time.Time) {
 	r := ph.rt
 	r.ctrlMu.Lock()
@@ -929,9 +1239,11 @@ func (ph *phase) feedController(pair int, dur time.Duration, end time.Time) {
 		Tc:  core.Time(dur.Seconds()),
 		Now: core.Time(end.Sub(ph.start).Seconds()),
 	})
-	oldLimit := r.gate.limit.Load()
+	oldLimit := r.gates[0].limit.Load()
 	newLimit := int64(r.th.MTL())
-	r.gate.limit.Store(newLimit)
+	for d := range r.gates {
+		r.gates[d].limit.Store(newLimit)
+	}
 	r.ctrlMu.Unlock()
 	if newLimit > oldLimit {
 		// New admission headroom: wake everyone (many sleepers may be

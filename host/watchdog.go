@@ -85,7 +85,10 @@ func (r *Runtime) degrade(ph *phase) {
 		return
 	}
 	d.ForceConventional()
-	r.gate.limit.Store(int64(d.MTL()))
+	limit := int64(d.MTL())
+	for i := range r.gates {
+		r.gates[i].limit.Store(limit)
+	}
 	r.ctrlMu.Unlock()
 	ph.wdMu.Lock()
 	ph.degraded = true

@@ -47,6 +47,7 @@ func Catalog() []Spec {
 		{"N1", "Sensitivity: throttling gains vs per-task noise (convoy dissolution)", tbl(NoiseSensitivity)},
 		{"R1", "Robustness: controller decisions under injected measurement corruption", RobustnessR1},
 		{"P1", "§VIII future work: POWER7-style 32-thread scaling", tbl(Power7Scale)},
+		{"D1", "Sharded memory domains: per-domain MTL sweep over 1/2/4 domains", DomainScaling},
 	}
 }
 

@@ -17,6 +17,10 @@ import (
 type Config struct {
 	Cores   int // physical cores (paper: 4 on the i7-860)
 	SMTWays int // hardware threads per core (1 = SMT off, 2 = i7 SMT)
+	// MemDomains is the number of independent memory domains the
+	// machine's DRAM splits into (the paper's 2-DIMM platform has 2).
+	// 0 or 1 both mean one unified memory system.
+	MemDomains int
 }
 
 // I7860 returns the paper's evaluation machine: 4 cores, SMT
@@ -32,15 +36,32 @@ func (c Config) Validate() error {
 	if c.SMTWays < 1 {
 		return fmt.Errorf("machine: SMTWays = %d, want >= 1", c.SMTWays)
 	}
+	if c.MemDomains < 0 {
+		return fmt.Errorf("machine: MemDomains = %d, want >= 0", c.MemDomains)
+	}
 	return nil
 }
 
 // HardwareThreads reports the total number of schedulable contexts.
 func (c Config) HardwareThreads() int { return c.Cores * c.SMTWays }
 
+// Domains reports the effective memory-domain count (>= 1).
+func (c Config) Domains() int {
+	if c.MemDomains < 1 {
+		return 1
+	}
+	return c.MemDomains
+}
+
 // WithSMT returns a copy with the given SMT width.
 func (c Config) WithSMT(ways int) Config {
 	c.SMTWays = ways
+	return c
+}
+
+// WithMemDomains returns a copy sharded into n memory domains.
+func (c Config) WithMemDomains(n int) Config {
+	c.MemDomains = n
 	return c
 }
 

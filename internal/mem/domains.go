@@ -1,0 +1,64 @@
+package mem
+
+import "fmt"
+
+// DomainSet is a machine's sharded memory system: one independent
+// DRAM configuration per memory domain. It is the simulated analogue
+// of the paper's 2-DIMM platform (§V), where each DIMM's channel
+// queues and banks contend separately and each carries its own MTL.
+// Domains never interleave addresses with each other — a task's
+// footprint lives wholly in its home domain — so each domain
+// calibrates to its own contention law Tm_k = Tml + k*Tql.
+type DomainSet struct {
+	Configs []Config
+}
+
+// Replicate shards cfg into n identical domains with decorrelated
+// jitter: domain d runs with Seed cfg.Seed + d, so the domains are
+// physically alike (same DIMM part) but their refresh/arbitration
+// noise is independent, exactly as two real DIMMs behave.
+func Replicate(cfg Config, n int) DomainSet {
+	ds := DomainSet{Configs: make([]Config, n)}
+	for d := range ds.Configs {
+		c := cfg
+		c.Seed = cfg.Seed + int64(d)
+		ds.Configs[d] = c
+	}
+	return ds
+}
+
+// TwoDIMM returns the paper's 2-DIMM evaluation memory: two DDR3-1066
+// domains with decorrelated seeds.
+func TwoDIMM() DomainSet { return Replicate(DDR3_1066(), 2) }
+
+// Validate reports a configuration error, if any.
+func (ds DomainSet) Validate() error {
+	if len(ds.Configs) < 1 {
+		return fmt.Errorf("mem: DomainSet with no domains")
+	}
+	for d, cfg := range ds.Configs {
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("mem: domain %d: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// Calibrate fits every domain's contention law independently through
+// the process-wide calibration cache (each domain's Config is its own
+// cache key, so a replicated domain set re-measures nothing a previous
+// caller already has).
+func (ds DomainSet) Calibrate(maxK, tasksPerStream, footprint int) ([]Calibration, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	cals := make([]Calibration, len(ds.Configs))
+	for d, cfg := range ds.Configs {
+		cal, err := CalibrateCached(cfg, maxK, tasksPerStream, footprint)
+		if err != nil {
+			return nil, fmt.Errorf("mem: calibrating domain %d: %w", d, err)
+		}
+		cals[d] = cal
+	}
+	return cals, nil
+}

@@ -1,0 +1,59 @@
+package mem
+
+import "testing"
+
+func TestReplicateDecorrelatesSeeds(t *testing.T) {
+	ds := Replicate(DDR3_1066(), 3)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	base := DDR3_1066()
+	for d, cfg := range ds.Configs {
+		if cfg.Seed != base.Seed+int64(d) {
+			t.Errorf("domain %d seed = %d, want %d", d, cfg.Seed, base.Seed+int64(d))
+		}
+		cfg.Seed = base.Seed
+		if cfg != base {
+			t.Errorf("domain %d differs from the base beyond its seed", d)
+		}
+	}
+}
+
+func TestTwoDIMMCalibratesPerDomain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	ds := TwoDIMM()
+	cals, err := ds.Calibrate(4, 3, 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cals) != 2 {
+		t.Fatalf("got %d calibrations, want 2", len(cals))
+	}
+	for d, cal := range cals {
+		if cal.Tml <= 0 || cal.Tql <= 0 {
+			t.Errorf("domain %d: degenerate fit Tml=%v Tql=%v", d, cal.Tml, cal.Tql)
+		}
+		if cal.R2 < 0.8 {
+			t.Errorf("domain %d: contention law fit R2 = %v, want >= 0.8", d, cal.R2)
+		}
+	}
+	// Decorrelated jitter, same part: the two domains' laws must be
+	// close but need not be identical.
+	rel := float64(cals[0].Tml-cals[1].Tml) / float64(cals[0].Tml)
+	if rel < -0.2 || rel > 0.2 {
+		t.Errorf("domain Tml values diverge by %.0f%%: %v vs %v", rel*100, cals[0].Tml, cals[1].Tml)
+	}
+}
+
+func TestDomainSetValidate(t *testing.T) {
+	if err := (DomainSet{}).Validate(); err == nil {
+		t.Error("empty DomainSet accepted")
+	}
+	bad := Replicate(DDR3_1066(), 2)
+	bad.Configs[1].Channels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid domain config accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package simsched
+
+import (
+	"testing"
+
+	"memthrottle/internal/contend"
+	"memthrottle/internal/core"
+)
+
+// domCfg shards the test configuration into n domains with identical
+// fluid parameters per domain.
+func domCfg(n int) Config {
+	c := cfg()
+	c.Machine.MemDomains = n
+	for d := 0; d < n; d++ {
+		c.DomainMem[d] = testMem()
+	}
+	return c
+}
+
+// TestDomainsOneIsUnified checks MemDomains <= 1 reproduces the
+// unified-memory run exactly: same completion, same total time.
+func TestDomainsOneIsUnified(t *testing.T) {
+	prog := synth(1.0, 40)
+	base := Run(prog, cfg(), core.Fixed{K: 2})
+	c := cfg()
+	c.Machine.MemDomains = 1
+	c.Mem = testMem()
+	one := Run(prog, c, core.Fixed{K: 2})
+	if base.TotalTime != one.TotalTime {
+		t.Fatalf("MemDomains=1 total %v, unified total %v", one.TotalTime, base.TotalTime)
+	}
+	if base.PairsCompleted != one.PairsCompleted {
+		t.Fatalf("completed %d vs %d pairs", one.PairsCompleted, base.PairsCompleted)
+	}
+}
+
+// TestDomainsRelieveContention checks the core effect sharding models:
+// with the per-domain MTL held fixed, splitting the same streams over
+// two independent DIMMs must not run slower than funneling them
+// through one, and on a memory-bound program it must be strictly
+// faster (each domain sees half the queueing).
+func TestDomainsRelieveContention(t *testing.T) {
+	prog := synth(2.0, 40) // memory-bound
+	uni := Run(prog, cfg(), core.Fixed{K: 4})
+	two := Run(prog, domCfg(2), core.Fixed{K: 4})
+	if two.TotalTime >= uni.TotalTime {
+		t.Fatalf("2 domains total %v, want below unified %v", two.TotalTime, uni.TotalTime)
+	}
+	if two.PairsCompleted != uni.PairsCompleted {
+		t.Fatalf("completed %d vs %d pairs", two.PairsCompleted, uni.PairsCompleted)
+	}
+}
+
+// TestDomainMTLIsPerDomain checks the limit applies per domain: with
+// MTL=1 on 2 domains, two memory tasks (one per domain) may overlap,
+// so a memory-bound run finishes faster than the same program under
+// MTL=1 on one domain.
+func TestDomainMTLIsPerDomain(t *testing.T) {
+	prog := synth(2.0, 40)
+	c := domCfg(2)
+	c.RecordTrace = true
+	two := Run(prog, c, core.Fixed{K: 1})
+	if got := two.Timeline.MaxMemoryOverlap(); got != 2 {
+		t.Fatalf("2 domains under MTL=1 peaked at %d concurrent memory tasks, want 2", got)
+	}
+	uni := Run(prog, cfg(), core.Fixed{K: 1})
+	if two.TotalTime >= uni.TotalTime {
+		t.Fatalf("2-domain MTL=1 total %v, want below 1-domain %v", two.TotalTime, uni.TotalTime)
+	}
+}
+
+// TestDomainsAsymmetric checks a slow domain only drags its own pairs:
+// making domain 1 three times slower stretches the run, but still
+// beats making the single unified memory three times slower.
+func TestDomainsAsymmetric(t *testing.T) {
+	slow := contend.Params{TmlPerByte: 3e-9, TqlPerByte: 1.2e-9}
+	prog := synth(1.0, 40)
+	c := domCfg(2)
+	c.DomainMem[1] = slow
+	mixed := Run(prog, c, core.Fixed{K: 2})
+	cSlow := cfg()
+	cSlow.Mem = slow
+	allSlow := Run(prog, cSlow, core.Fixed{K: 2})
+	fast := Run(prog, domCfg(2), core.Fixed{K: 2})
+	if mixed.TotalTime <= fast.TotalTime {
+		t.Fatalf("half-slow run %v, want above all-fast %v", mixed.TotalTime, fast.TotalTime)
+	}
+	if mixed.TotalTime >= allSlow.TotalTime {
+		t.Fatalf("half-slow run %v, want below all-slow %v", mixed.TotalTime, allSlow.TotalTime)
+	}
+}
+
+// TestDomainConfigValidation exercises the new Validate paths.
+func TestDomainConfigValidation(t *testing.T) {
+	c := cfg()
+	c.Machine.MemDomains = MaxMemDomains + 1
+	if err := c.Validate(); err == nil {
+		t.Error("over-wide MemDomains accepted")
+	}
+	c = cfg()
+	c.Machine.MemDomains = 2 // DomainMem left zero
+	if err := c.Validate(); err == nil {
+		t.Error("sharded config with zero DomainMem params accepted")
+	}
+	if err := domCfg(2).Validate(); err != nil {
+		t.Errorf("valid 2-domain config rejected: %v", err)
+	}
+}

@@ -21,10 +21,22 @@ import (
 	"memthrottle/internal/trace"
 )
 
+// MaxMemDomains bounds the per-domain parameter array in Config. The
+// array (rather than a slice) keeps Config comparable, which the
+// experiment layer relies on for memoisation keys.
+const MaxMemDomains = 4
+
 // Config describes one simulation run.
 type Config struct {
 	Machine machine.Config
 	Mem     contend.Params
+	// DomainMem holds the per-domain fluid parameters when
+	// Machine.MemDomains > 1 (entry d models domain d's DIMM; entries
+	// past the domain count are ignored and must stay zero). With a
+	// single domain Mem alone is used. Pairs are homed round-robin
+	// (pair index modulo the domain count), matching the host
+	// runtime's default placement rule.
+	DomainMem [MaxMemDomains]contend.Params
 	// LLCBytes is the shared last-level cache capacity (paper: 8 MB).
 	LLCBytes float64
 	// ResidentOverheadBytes models the cache share permanently held
@@ -64,6 +76,16 @@ func (c Config) Validate() error {
 	}
 	if err := c.Mem.Validate(); err != nil {
 		return err
+	}
+	if nd := c.Machine.Domains(); nd > 1 {
+		if nd > MaxMemDomains {
+			return fmt.Errorf("simsched: MemDomains = %d, want <= %d", nd, MaxMemDomains)
+		}
+		for d := 0; d < nd; d++ {
+			if err := c.DomainMem[d].Validate(); err != nil {
+				return fmt.Errorf("simsched: DomainMem[%d]: %w", d, err)
+			}
+		}
 	}
 	if c.LLCBytes <= 0 {
 		return fmt.Errorf("simsched: LLCBytes = %g, want > 0", c.LLCBytes)
@@ -122,7 +144,7 @@ type runner struct {
 	th    core.Throttler
 	eng   *sim.Engine
 	mach  *machine.Machine
-	pool  *contend.Pool
+	pools []*contend.Pool // one fluid memory model per domain
 	llc   *cache.LLC
 	noise *stats.Noise
 
@@ -131,7 +153,7 @@ type runner struct {
 	phaseStart     sim.Time
 	readyMem       []*taskRun
 	readyCompute   []*taskRun
-	activeMem      int
+	activeMem      []int // in-flight memory tasks per domain
 
 	workers []*worker
 
@@ -146,6 +168,7 @@ type runner struct {
 type taskRun struct {
 	task  *stream.Task
 	pair  *pairRun
+	dom   int // home memory domain of the task's pair
 	start sim.Time
 	mtlAt int // MTL in force when the task started (memory tasks)
 }
@@ -195,10 +218,21 @@ func Run(prog *stream.Program, cfg Config, th core.Throttler) Result {
 		th:    th,
 		eng:   eng,
 		mach:  machine.New(eng, cfg.Machine),
-		pool:  contend.NewPool(eng, cfg.Mem),
 		llc:   cache.NewLLC(cfg.LLCBytes),
 		noise: stats.NewNoise(cfg.NoiseSigma, cfg.Seed),
 		tmByK: make(map[int]*stats.Welford),
+	}
+	// One fluid pool per memory domain: with a unified memory system
+	// Mem parameterises the single pool, otherwise each domain's DIMM
+	// gets its own independently calibrated model.
+	nd := cfg.Machine.Domains()
+	r.activeMem = make([]int, nd)
+	for d := 0; d < nd; d++ {
+		params := cfg.Mem
+		if nd > 1 {
+			params = cfg.DomainMem[d]
+		}
+		r.pools = append(r.pools, contend.NewPool(eng, params))
 	}
 	threads := cfg.Machine.HardwareThreads()
 	for i := 0; i < threads; i++ {
@@ -305,7 +339,11 @@ func (r *runner) enterPhase(p int) {
 			pairState.scatterBytes = pr.Scatter.Bytes * r.noise.Factor()
 			r.phaseRemaining++
 		}
-		r.readyMem = insertByID(r.readyMem, &taskRun{task: pr.Gather, pair: pairState})
+		// Home domain: pair index modulo the domain count, the same
+		// round-robin placement the host runtime defaults to.
+		r.readyMem = insertByID(r.readyMem, &taskRun{
+			task: pr.Gather, pair: pairState, dom: i % len(r.pools),
+		})
 	}
 	r.dispatchAll()
 }
@@ -321,17 +359,27 @@ func (r *runner) dispatchAll() {
 
 // dispatch assigns the next runnable task to w, or leaves it idle.
 // Ready queues are ordered by task ID (program order); the worker
-// takes the oldest runnable task, where memory tasks are runnable
-// only while MTL tokens remain. This yields the per-thread
-// gather-compute alternation of Fig. 4 and keeps the number of
-// in-flight pairs — and hence the live LLC footprint — bounded.
+// takes the oldest runnable task, where a memory task is runnable only
+// while its home domain holds MTL tokens (the limit applies per
+// domain, as each DIMM of the paper's 2-DIMM platform carries its own
+// MTL). This yields the per-thread gather-compute alternation of
+// Fig. 4 and keeps the number of in-flight pairs — and hence the live
+// LLC footprint — bounded. With one domain the admissibility scan
+// degenerates to the old head-of-queue check.
 func (r *runner) dispatch(w *worker) {
-	memOK := r.activeMem < r.th.MTL() && len(r.readyMem) > 0
+	mtl := r.th.MTL()
+	memIdx := -1
+	for i, ts := range r.readyMem {
+		if r.activeMem[ts.dom] < mtl {
+			memIdx = i
+			break
+		}
+	}
 	compOK := len(r.readyCompute) > 0
 	switch {
-	case memOK && (!compOK || r.readyMem[0].task.ID < r.readyCompute[0].task.ID):
-		ts := r.readyMem[0]
-		r.readyMem = r.readyMem[1:]
+	case memIdx >= 0 && (!compOK || r.readyMem[memIdx].task.ID < r.readyCompute[0].task.ID):
+		ts := r.readyMem[memIdx]
+		r.readyMem = append(r.readyMem[:memIdx], r.readyMem[memIdx+1:]...)
 		r.startMemory(w, ts)
 	case compOK:
 		ts := r.readyCompute[0]
@@ -360,13 +408,13 @@ func insertByID(q []*taskRun, ts *taskRun) []*taskRun {
 func (r *runner) startMemory(w *worker, ts *taskRun) {
 	ts.start = r.eng.Now()
 	ts.mtlAt = r.th.MTL()
-	r.activeMem++
+	r.activeMem[ts.dom]++
 	bytes := ts.pair.gatherBytes
 	if ts.task.Kind == stream.Scatter {
 		bytes = ts.pair.scatterBytes
 	}
 	r.llc.Reserve(bytes)
-	r.pool.Start(bytes, 1, func() {
+	r.pools[ts.dom].Start(bytes, 1, func() {
 		r.finishMemory(w, ts, bytes)
 	})
 }
@@ -375,7 +423,7 @@ func (r *runner) finishMemory(w *worker, ts *taskRun, bytes float64) {
 	now := r.eng.Now()
 	dur := now - ts.start
 	r.account(w, ts, dur)
-	r.activeMem--
+	r.activeMem[ts.dom]--
 
 	switch ts.task.Kind {
 	case stream.Gather:
@@ -383,7 +431,9 @@ func (r *runner) finishMemory(w *worker, ts *taskRun, bytes float64) {
 		// task has consumed it; record Tm for the pair.
 		ts.pair.gatherDur = dur
 		r.welfordTm(ts.mtlAt).Add(float64(dur))
-		r.readyCompute = insertByID(r.readyCompute, &taskRun{task: computeOf(r.prog, ts.task), pair: ts.pair})
+		r.readyCompute = insertByID(r.readyCompute, &taskRun{
+			task: computeOf(r.prog, ts.task), pair: ts.pair, dom: ts.dom,
+		})
 	case stream.Scatter:
 		r.llc.Release(bytes)
 	}
@@ -416,8 +466,10 @@ func (r *runner) startCompute(w *worker, ts *taskRun) {
 		}
 	}
 	if missFrac > 0 {
+		// Miss traffic hits the pair's home domain, where its
+		// footprint lives.
 		pending++
-		r.pool.Start(missFrac*ts.pair.gatherBytes, missFrac, part)
+		r.pools[ts.dom].Start(missFrac*ts.pair.gatherBytes, missFrac, part)
 	}
 	w.core.StartCompute(ts.pair.computeWork, part)
 }
@@ -432,7 +484,7 @@ func (r *runner) finishCompute(w *worker, ts *taskRun) {
 	r.res.PairsCompleted++
 
 	if sc := scatterOf(r.prog, ts.task); sc != nil {
-		r.readyMem = insertByID(r.readyMem, &taskRun{task: sc, pair: ts.pair})
+		r.readyMem = insertByID(r.readyMem, &taskRun{task: sc, pair: ts.pair, dom: ts.dom})
 	}
 
 	monitored := r.th.Monitoring()
