@@ -19,12 +19,20 @@ HOT_BENCHES  = BenchmarkDRAMAccess|BenchmarkStreamPump|BenchmarkCalibrate|Benchm
 # sharded-gate scaling past the old single-gate plateau; the
 # Domains64x* trio holds workers at 64 and varies only the domain
 # count.
-HOST_BENCHES = BenchmarkHostRuntimeThroughput|BenchmarkHostRuntimeThroughput8|BenchmarkHostRuntimeThroughput32|BenchmarkHostRuntimeThroughput64|BenchmarkHostRuntimeThroughput128|BenchmarkHostRuntimeThroughput256|BenchmarkHostRuntimeDomains64x1|BenchmarkHostRuntimeDomains64x2|BenchmarkHostRuntimeDomains64x4
+HOST_BENCHES = BenchmarkHostRuntimeThroughput|BenchmarkHostRuntimeThroughput8|BenchmarkHostRuntimeThroughput32|BenchmarkHostRuntimeThroughput64|BenchmarkHostRuntimeThroughput128|BenchmarkHostRuntimeThroughput256|BenchmarkHostRuntimeDomains64x1|BenchmarkHostRuntimeDomains64x2|BenchmarkHostRuntimeDomains64x4|$(SERVE_BENCHES)
+
+# Open-loop serving benchmarks: sustained Submit->Drain throughput at
+# 64/128/256 workers with batched admission (BenchmarkHostServe*) and
+# the per-job-admission baseline (BenchmarkHostServePerJob*, AdmitBatch
+# 1). Both families are pinned in BENCH_SIM.json so the batched pump's
+# amortisation win stays measured and neither path regresses.
+SERVE_BENCHES = BenchmarkHostServe64|BenchmarkHostServe128|BenchmarkHostServe256|BenchmarkHostServePerJob64|BenchmarkHostServePerJob128|BenchmarkHostServePerJob256|BenchmarkGateAdmitBatched|BenchmarkGateAdmitPerJob
 
 # Benchmarks pinned allocation-free by `make bench-check`: the
 # zero-allocation hot paths from the PR 2 work must never regrow an
-# alloc, and the warm Calibrator's adjacent re-measure joins them.
-ZERO_ALLOC   = BenchmarkEngineStep,BenchmarkDRAMAccess,BenchmarkStreamPump
+# alloc, the warm Calibrator's adjacent re-measure joins them, and the
+# serving-path admission primitives stay allocation-free too.
+ZERO_ALLOC   = BenchmarkEngineStep,BenchmarkDRAMAccess,BenchmarkStreamPump,BenchmarkGateAdmitBatched,BenchmarkGateAdmitPerJob
 
 .PHONY: check fmt vet build test race bench bench-host bench-baseline bench-check
 
@@ -47,8 +55,10 @@ test:
 # runtime (worker pool, stealing deques, gate, watchdog, cancellation,
 # chaos suite, and the host stress suite: TestStress* oversubscribes
 # the gate with hundreds of workers and hunts lost wakeups across
-# back-to-back 1-pair phases) and the parallel run engine — under the
-# race detector, plus the persistent result cache's concurrent-writer
+# back-to-back 1-pair phases, and TestStressServe* races concurrent
+# Submit against Drain and live MTL moves through the serving rings at
+# 128-160 workers) and the parallel run engine — under the race
+# detector, plus the persistent result cache's concurrent-writer
 # suite (shared by mtlbench -j fan-outs). The rest of the tree is
 # single-goroutine simulation already covered by `test`.
 race:

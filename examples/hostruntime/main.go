@@ -20,6 +20,19 @@
 // per-domain dispatch counters (steals, remote steal-half visits,
 // spills, parks, idle time) print per policy, and -timings writes the
 // whole set as a JSON snapshot.
+//
+// With -rate R the example switches from closed-loop phases to the
+// open-loop serving path: jobs arrive as a seeded Poisson stream at R
+// jobs/sec wall clock, are submitted through Runtime.Serve's streaming
+// ingress, and each policy serves for -duration. Overload handling is
+// chosen with -shed (reject | drop | block). The report is the serving
+// story: goodput, shed counts and queue/service latency percentiles
+// per policy — throttled admission keeps tails flat where the
+// conventional limit collapses. -chaos composes: the arrival stream is
+// run through the fault injector and the retry policy carries the
+// faulty jobs. Checksum verification is skipped in serving mode (jobs
+// re-execute the same arrays concurrently, so the generation sums
+// don't apply).
 package main
 
 import (
@@ -35,6 +48,7 @@ import (
 
 	"memthrottle/host"
 	"memthrottle/internal/prof"
+	"memthrottle/internal/workload"
 )
 
 // domainSnapshot is one policy's entry in the -timings JSON file: the
@@ -53,6 +67,9 @@ type domainSnapshot struct {
 func main() {
 	log.SetFlags(0)
 	chaos := flag.Bool("chaos", false, "inject faults (spikes, errors, panics) and recover via retry")
+	rate := flag.Float64("rate", 0, "open-loop serving mode: offered load in jobs/sec (0 = closed-loop phases)")
+	duration := flag.Duration("duration", 3*time.Second, "serving mode: how long each policy serves")
+	shedName := flag.String("shed", "reject", "serving mode overload response: reject | drop | block")
 	domains := flag.Int("domains", 1, "shard the runtime into N memory domains (per-domain MTL gates)")
 	timings := flag.String("timings", "", "write per-policy stats incl. per-domain counters to this JSON file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -85,6 +102,11 @@ func main() {
 	arrays, err := host.NewArraySet(64, 1<<20)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *rate > 0 {
+		runServe(arrays, workers, *domains, *rate, *duration, *shedName, *chaos)
+		return
 	}
 
 	if *chaos {
@@ -216,4 +238,119 @@ func runChaos(arrays *host.ArraySet, workers int) {
 	default:
 		log.Fatalf("chaos run failed beyond the retry budget: %v", runErr)
 	}
+}
+
+// parseShed maps the -shed flag to a host.Shed mode.
+func parseShed(name string) (host.Shed, error) {
+	switch name {
+	case "reject":
+		return host.ShedReject, nil
+	case "drop":
+		return host.ShedDrop, nil
+	case "block":
+		return host.ShedBlock, nil
+	default:
+		return 0, fmt.Errorf("-shed %q: want reject, drop or block", name)
+	}
+}
+
+// runServe is the open-loop serving demo: each policy serves a seeded
+// Poisson arrival stream at the offered rate for the configured
+// duration, then drains and reports goodput, shed counts and latency
+// percentiles. The same seed drives every policy, so all three face an
+// identical arrival sequence. With chaos, the template pairs are run
+// through the fault injector and the retry policy recovers them.
+func runServe(arrays *host.ArraySet, workers, domains int, rate float64, duration time.Duration, shedName string, chaos bool) {
+	shed, err := parseShed(shedName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs, err := arrays.Pairs(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fi *host.FaultInjector
+	if fi, err = chaosInjector(chaos); err != nil {
+		log.Fatal(err)
+	}
+	if fi != nil {
+		defer fi.Stop()
+		pairs = fi.Wrap(pairs)
+	}
+
+	fmt.Printf("serving mode: %.0f jobs/s offered for %v per policy, shed=%s\n\n",
+		rate, duration, shed)
+
+	serve := func(name string, cfg host.Config) {
+		cfg.Domains = domains
+		if fi != nil {
+			cfg.Retry = host.RetryPolicy{MaxAttempts: 4, BaseDelay: 200 * time.Microsecond, Seed: 1}
+		}
+		rt, err := host.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rt.Close()
+		srv, err := rt.Serve(host.ServeConfig{Queue: 1024, Shed: shed})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Open-loop pacing against absolute deadlines: the submitter
+		// never waits for completions, and a slow system cannot slow
+		// the arrival clock down (that would be closed-loop).
+		arr := workload.NewPoisson(rate, 1)
+		deadline := time.Now().Add(duration)
+		next := time.Now()
+		var bounced int64
+		for i := 0; ; i++ {
+			next = next.Add(time.Duration(arr.Next() * float64(time.Second)))
+			if next.After(deadline) {
+				break
+			}
+			time.Sleep(time.Until(next))
+			if err := srv.Submit(pairs[i%len(pairs)]); err != nil {
+				bounced++ // ErrQueueFull under reject (counted server-side too)
+			}
+		}
+		st, err := srv.Drain(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		_ = bounced
+		fmt.Printf("%-18s goodput %8.0f jobs/s   completed %6d  failed %d  dropped %d  rejected %d\n",
+			name, st.Goodput, st.Completed, st.Failed, st.Dropped, st.Rejected)
+		fmt.Printf("    queue   p50 %8v  p99 %8v  p99.9 %8v\n",
+			st.QueueLatency.P50().Round(time.Microsecond),
+			st.QueueLatency.P99().Round(time.Microsecond),
+			st.QueueLatency.P999().Round(time.Microsecond))
+		fmt.Printf("    service p50 %8v  p99 %8v  p99.9 %8v   final MTL %d  retries %d recovered %d\n",
+			st.ServiceLatency.P50().Round(time.Microsecond),
+			st.ServiceLatency.P99().Round(time.Microsecond),
+			st.ServiceLatency.P999().Round(time.Microsecond),
+			st.FinalMTL, st.Retries, st.Recovered)
+	}
+
+	serve("conventional", host.Config{Workers: workers, Policy: host.Conventional})
+	if workers >= 2 {
+		serve("static MTL=1", host.Config{Workers: workers, Policy: host.Static, MTL: 1})
+		serve("dynamic", host.Config{Workers: workers, Policy: host.Dynamic, W: 8})
+	} else {
+		fmt.Println("(single-CPU host: adaptive policies need >= 2 workers; skipping)")
+	}
+}
+
+// chaosInjector builds the serving-mode fault injector, or nil when
+// chaos is off.
+func chaosInjector(chaos bool) (*host.FaultInjector, error) {
+	if !chaos {
+		return nil, nil
+	}
+	return host.NewFaultInjector(host.FaultConfig{
+		PanicRate:  0.03,
+		ErrorRate:  0.07,
+		SpikeRate:  0.20,
+		SpikeDelay: 2 * time.Millisecond,
+		Seed:       1,
+	})
 }

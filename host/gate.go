@@ -43,6 +43,48 @@ func (g *gate) tryAcquire() bool {
 	}
 }
 
+// tryAcquireN claims up to max slots in one CAS and reports how many it
+// got (0 when the gate is full or max <= 0). Batched admission on the
+// serving path uses this to admit a whole run of queued jobs per gate
+// transition: one CAS where per-job admission would retry max times
+// under contention.
+func (g *gate) tryAcquireN(max int64) int64 {
+	if max <= 0 {
+		return 0
+	}
+	for {
+		a := g.active.Load()
+		free := g.limit.Load() - a
+		if free <= 0 {
+			return 0
+		}
+		n := free
+		if n > max {
+			n = max
+		}
+		if g.active.CompareAndSwap(a, a+n) {
+			top := a + n
+			for {
+				p := g.peak.Load()
+				if top <= p || g.peak.CompareAndSwap(p, top) {
+					return n
+				}
+			}
+		}
+	}
+}
+
+// releaseN returns n slots at once (the batched counterpart of
+// release).
+func (g *gate) releaseN(n int64) {
+	if n <= 0 {
+		return
+	}
+	if g.active.Add(-n) < 0 {
+		panic("host: gate released below zero")
+	}
+}
+
 // release returns a slot. The caller follows up with a targeted wakeup
 // (lot.unparkOne) so exactly one gate-blocked worker re-scans.
 func (g *gate) release() {
@@ -131,6 +173,31 @@ func (l *lot) unparkOne() bool {
 	l.mu.Unlock()
 	p.token <- struct{}{}
 	return true
+}
+
+// unparkN wakes up to n of the most recently parked workers under a
+// single lock acquisition and reports how many it woke. Batched
+// admission pairs this with gate.tryAcquireN: admitting a run of k jobs
+// costs one lock and k token sends instead of k lock round-trips.
+func (l *lot) unparkN(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	if n > len(l.parked) {
+		n = len(l.parked)
+	}
+	woken := make([]*parker, n)
+	copy(woken, l.parked[len(l.parked)-n:])
+	l.parked = l.parked[:len(l.parked)-n]
+	for _, p := range woken {
+		p.queued = false
+	}
+	l.mu.Unlock()
+	for _, p := range woken {
+		p.token <- struct{}{}
+	}
+	return n
 }
 
 // unparkAll wakes every parked worker — reserved for the rare events

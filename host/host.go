@@ -308,6 +308,10 @@ type Runtime struct {
 	ctrlMu sync.Mutex
 
 	closed atomic.Bool
+
+	// serving marks a live Serve session (serve.go): Run and a second
+	// Serve fail until the session drains.
+	serving atomic.Bool
 }
 
 // New builds a runtime. The controller persists across Run calls, so
@@ -486,6 +490,9 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	}
 	if r.closed.Load() {
 		return Stats{}, errors.New("host: runtime closed")
+	}
+	if r.serving.Load() {
+		return Stats{}, errors.New("host: runtime is serving (drain the server first)")
 	}
 	r.memPeak.Store(r.memActive.Load())
 	for d := range r.gates {

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Latency-histogram bucket layout: HDR-style integer log scale over
+// nanoseconds. Values below histSub land in exact unit-width buckets;
+// larger values are split into histSub sub-buckets per power-of-two
+// octave, so every bucket's width is at most 1/histSub of its lower
+// bound and the midpoint a quantile reports is within
+// 1/(2*histSub) ~ 1.6% of any sample in the bucket. The layout is a
+// compile-time constant — no configuration, no allocation — which is
+// what makes merges across shards trivially deterministic.
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // sub-buckets per octave (32)
+	histOctaves = 40               // octaves 2^5 .. 2^44 ns (~9.8 h max)
+	histBuckets = histSub + histOctaves*histSub
+
+	// histMaxNs is the largest exactly-bucketed value; anything larger
+	// clamps into the top bucket.
+	histMaxNs = int64(1)<<(histSubBits+histOctaves) - 1
+)
+
+// LatencyHist is a fixed-bucket log-scale latency histogram. The zero
+// value is an empty histogram ready for use. Record is allocation-free
+// and O(1); Merge is a deterministic element-wise sum, so sharded
+// recording (one histogram per worker, merged at the end) yields
+// byte-identical results regardless of how samples were distributed
+// across shards.
+//
+// A LatencyHist is not safe for concurrent use; shard per goroutine
+// and merge.
+type LatencyHist struct {
+	counts [histBuckets]uint64
+	total  uint64
+}
+
+// histIndex maps a nanosecond value to its bucket.
+func histIndex(ns int64) int {
+	if ns < histSub {
+		if ns < 0 {
+			return 0
+		}
+		return int(ns)
+	}
+	if ns > histMaxNs {
+		ns = histMaxNs
+	}
+	o := bits.Len64(uint64(ns)) - 1 // top-bit position, >= histSubBits
+	sub := int(ns>>(o-histSubBits)) & (histSub - 1)
+	return histSub + (o-histSubBits)*histSub + sub
+}
+
+// histBounds reports bucket i's value range [lo, hi).
+func histBounds(i int) (lo, hi int64) {
+	if i < histSub {
+		return int64(i), int64(i) + 1
+	}
+	b := i - histSub
+	shift := uint(b / histSub)
+	sub := int64(b % histSub)
+	lo = (histSub + sub) << shift
+	return lo, lo + 1<<shift
+}
+
+// histMid is bucket i's representative value: the integer midpoint of
+// its inclusive range, so a unit-width bucket reports its exact value.
+func histMid(i int) int64 {
+	lo, hi := histBounds(i)
+	return lo + (hi-1-lo)/2
+}
+
+// Record adds one latency sample. Negative durations count as zero;
+// durations beyond ~9.8 h clamp into the top bucket. Zero allocations.
+func (h *LatencyHist) Record(d time.Duration) {
+	h.counts[histIndex(int64(d))]++
+	h.total++
+}
+
+// RecordSeconds records a latency given in seconds (the simulator's
+// time base), rounded to the nearest nanosecond.
+func (h *LatencyHist) RecordSeconds(s float64) {
+	h.Record(time.Duration(s*1e9 + 0.5))
+}
+
+// Count reports the number of recorded samples.
+func (h *LatencyHist) Count() uint64 { return h.total }
+
+// Merge folds o into h. Merging is commutative and associative, so any
+// shard/merge-order combination over the same multiset of samples
+// produces an identical histogram.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+}
+
+// Reset clears the histogram.
+func (h *LatencyHist) Reset() { *h = LatencyHist{} }
+
+// Quantile reports the q-quantile (0 < q <= 1) of the recorded
+// samples as the representative value of the bucket holding the
+// ceil(q*count)-th smallest sample — within 1/(2*histSub) relative
+// error of the true sample quantile. An empty histogram reports 0.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	x := q * float64(h.total)
+	rank := uint64(x)
+	if float64(rank) < x {
+		rank++ // ceil
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i]
+		if cum >= rank {
+			return time.Duration(histMid(i))
+		}
+	}
+	// Unreachable: cum == total >= rank by the clamp above.
+	panic(fmt.Sprintf("stats: LatencyHist rank %d beyond %d samples", rank, h.total))
+}
+
+// P50, P99 and P999 are the tail percentiles the serving experiments
+// report.
+func (h *LatencyHist) P50() time.Duration  { return h.Quantile(0.50) }
+func (h *LatencyHist) P99() time.Duration  { return h.Quantile(0.99) }
+func (h *LatencyHist) P999() time.Duration { return h.Quantile(0.999) }
+
+// Max reports the representative value of the highest occupied bucket
+// (0 when empty) — an upper summary for reports, not an exact maximum.
+func (h *LatencyHist) Max() time.Duration {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.counts[i] != 0 {
+			return time.Duration(histMid(i))
+		}
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistIndexBounds checks that every value maps into the bucket
+// whose bounds contain it, across bucket boundaries from the exact
+// region through several octaves.
+func TestHistIndexBounds(t *testing.T) {
+	probe := func(v int64) {
+		i := histIndex(v)
+		lo, hi := histBounds(i)
+		if v < lo || v >= hi {
+			t.Fatalf("histIndex(%d) = %d with bounds [%d, %d)", v, i, lo, hi)
+		}
+	}
+	for v := int64(0); v < 4096; v++ {
+		probe(v)
+	}
+	for shift := uint(12); shift < 44; shift++ {
+		base := int64(1) << shift
+		for _, off := range []int64{-3, -1, 0, 1, 3, base / 3, base / 2} {
+			probe(base + off)
+		}
+	}
+	if histIndex(-5) != 0 {
+		t.Errorf("negative value must clamp to bucket 0")
+	}
+	if got := histIndex(math.MaxInt64); got != histBuckets-1 {
+		t.Errorf("overflow value lands in bucket %d, want top bucket %d", got, histBuckets-1)
+	}
+}
+
+// TestHistQuantileRelativeError records a seeded log-uniform sample
+// spanning every octave and checks each reported quantile against the
+// exact sample quantile: the relative error must stay within the
+// bucket-midpoint bound 1/(2*histSub), including at quantiles that
+// land exactly on bucket boundaries.
+func TestHistQuantileRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h LatencyHist
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform across [1ns, ~17min]: every octave exercised.
+		v := int64(math.Exp(rng.Float64()*math.Log(1e12))) + 1
+		samples = append(samples, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	bound := 1.0/(2*histSub) + 1e-9
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 1.0} {
+		rank := int(math.Ceil(q * float64(len(samples))))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := float64(samples[rank-1])
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-exact) / exact; rel > bound {
+			t.Errorf("q=%g: got %g exact %g rel err %.4f > %.4f", q, got, exact, rel, bound)
+		}
+	}
+}
+
+// TestHistQuantileBoundaryValues pins the exact region and edge cases.
+func TestHistQuantileBoundaryValues(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram must report 0")
+	}
+	for _, v := range []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		h.Record(v)
+	}
+	// Values below histSub are exact: the median of 1..10 at ceil-rank
+	// 5 is exactly 5, p100 exactly 10.
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 of 1..10 = %d, want 5", got)
+	}
+	if got := h.Quantile(1.0); got != 10 {
+		t.Errorf("p100 of 1..10 = %d, want 10", got)
+	}
+	if got := h.Quantile(0.0); got != 1 {
+		t.Errorf("p0 of 1..10 = %d, want 1 (lowest sample's bucket)", got)
+	}
+}
+
+// TestHistMergeDeterministic shards one seeded sample stream across
+// worker-style sub-histograms in several different ways, merges each
+// sharding in a different order, and requires every merged histogram
+// to be identical — bucket counts, totals and all reported quantiles.
+func TestHistMergeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]time.Duration, 50000)
+	for i := range samples {
+		samples[i] = time.Duration(rng.Int63n(int64(3 * time.Second)))
+	}
+
+	var whole LatencyHist
+	for _, s := range samples {
+		whole.Record(s)
+	}
+
+	for _, shards := range []int{2, 7, 16} {
+		hs := make([]LatencyHist, shards)
+		for i, s := range samples {
+			hs[i%shards].Record(s)
+		}
+		// Merge back-to-front to vary the fold order vs shard order.
+		var merged LatencyHist
+		for i := shards - 1; i >= 0; i-- {
+			merged.Merge(&hs[i])
+		}
+		if merged != whole {
+			t.Fatalf("%d-way sharded merge differs from direct recording", shards)
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			if a, b := merged.Quantile(q), whole.Quantile(q); a != b {
+				t.Fatalf("%d shards: quantile %g differs: %v vs %v", shards, q, a, b)
+			}
+		}
+	}
+}
+
+// TestHistRecordZeroAlloc pins the record path allocation-free: the
+// serving hot path records two latencies per job and must never touch
+// the allocator.
+func TestHistRecordZeroAlloc(t *testing.T) {
+	h := new(LatencyHist)
+	d := 137 * time.Microsecond
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Record(d)
+		h.RecordSeconds(3.14e-4)
+	}); avg != 0 {
+		t.Errorf("Record allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestHistCountAndReset checks bookkeeping.
+func TestHistCountAndReset(t *testing.T) {
+	var h LatencyHist
+	for i := 0; i < 42; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 42 {
+		t.Errorf("Count = %d, want 42", h.Count())
+	}
+	if h.Max() == 0 {
+		t.Error("Max = 0 after recording nonzero samples")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("Reset did not clear the histogram")
+	}
+}

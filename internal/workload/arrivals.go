@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arrivals is a seeded open-loop arrival process: Next draws the gap
+// to the next arrival, in seconds. Implementations are deterministic
+// per seed — the serving experiments replay bit-identical arrival
+// streams across runs and across -j fan-outs — and are not safe for
+// concurrent use (shard one process per run).
+type Arrivals interface {
+	// Next returns the inter-arrival gap to the next job, in seconds.
+	Next() float64
+	// Rate reports the long-run mean arrival rate, in jobs per second.
+	Rate() float64
+	// Name identifies the process in reports.
+	Name() string
+}
+
+// Poisson is the memoryless arrival process: exponential gaps at a
+// constant rate.
+type Poisson struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+// NewPoisson returns a Poisson process with the given mean rate
+// (jobs/second). Panics on a non-positive rate: arrival rates are
+// experiment parameters, not data.
+func NewPoisson(rate float64, seed int64) *Poisson {
+	if rate <= 0 {
+		panic(fmt.Sprintf("workload: Poisson rate %g, want > 0", rate))
+	}
+	return &Poisson{rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws one exponential inter-arrival gap.
+func (p *Poisson) Next() float64 { return p.rng.ExpFloat64() / p.rate }
+
+// Rate reports the configured mean rate.
+func (p *Poisson) Rate() float64 { return p.rate }
+
+// Name implements Arrivals.
+func (p *Poisson) Name() string { return fmt.Sprintf("poisson(%.4g/s)", p.rate) }
+
+// MMPP is a two-state Markov-modulated Poisson process — the standard
+// bursty-traffic model: the source alternates between a quiet state
+// (rate rateLo) and a burst state (rate rateHi), staying in each for
+// an exponentially distributed sojourn with the given means. Gaps are
+// exponential at the current state's rate; a gap spanning a state
+// switch is composed piecewise, so the arrival stream is exactly the
+// superposition the model prescribes.
+type MMPP struct {
+	rate    [2]float64 // arrival rate per state
+	stay    [2]float64 // mean sojourn seconds per state
+	state   int
+	sojLeft float64 // time left in the current state
+	rng     *rand.Rand
+}
+
+// NewMMPP returns a two-state MMPP. rateLo/rateHi are the per-state
+// arrival rates (jobs/second, rateLo may be 0 for on-off traffic as
+// long as rateHi is positive); stayLo/stayHi the mean sojourn times in
+// seconds. The process starts in the quiet state with a freshly drawn
+// sojourn. Panics on non-positive sojourns or a non-positive rateHi.
+func NewMMPP(rateLo, rateHi, stayLo, stayHi float64, seed int64) *MMPP {
+	if rateLo < 0 || rateHi <= 0 {
+		panic(fmt.Sprintf("workload: MMPP rates (%g, %g), want rateLo >= 0 and rateHi > 0", rateLo, rateHi))
+	}
+	if stayLo <= 0 || stayHi <= 0 {
+		panic(fmt.Sprintf("workload: MMPP sojourns (%g, %g), want > 0", stayLo, stayHi))
+	}
+	m := &MMPP{
+		rate: [2]float64{rateLo, rateHi},
+		stay: [2]float64{stayLo, stayHi},
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	m.sojLeft = m.rng.ExpFloat64() * m.stay[0]
+	return m
+}
+
+// Next draws the gap to the next arrival, advancing through state
+// switches as needed.
+func (m *MMPP) Next() float64 {
+	var gap float64
+	for {
+		var toArrival float64
+		if r := m.rate[m.state]; r > 0 {
+			toArrival = m.rng.ExpFloat64() / r
+		} else {
+			toArrival = m.sojLeft + 1 // no arrivals in a silent state
+		}
+		if toArrival < m.sojLeft {
+			m.sojLeft -= toArrival
+			return gap + toArrival
+		}
+		// The state switches first: consume the rest of the sojourn and
+		// redraw in the next state (the exponential's memorylessness
+		// makes discarding the in-flight draw exact).
+		gap += m.sojLeft
+		m.state = 1 - m.state
+		m.sojLeft = m.rng.ExpFloat64() * m.stay[m.state]
+	}
+}
+
+// Rate reports the long-run mean rate: the sojourn-weighted average of
+// the two state rates.
+func (m *MMPP) Rate() float64 {
+	return (m.rate[0]*m.stay[0] + m.rate[1]*m.stay[1]) / (m.stay[0] + m.stay[1])
+}
+
+// Name implements Arrivals.
+func (m *MMPP) Name() string {
+	return fmt.Sprintf("mmpp(%.4g/%.4g per s)", m.rate[0], m.rate[1])
+}
+
+// NewBursty is a convenience MMPP: mean rate `rate` overall, with the
+// burst state running `burst` times hotter than the quiet state and
+// equal mean sojourns of `stay` seconds. burst must be > 1.
+func NewBursty(rate, burst, stay float64, seed int64) *MMPP {
+	if rate <= 0 || burst <= 1 || stay <= 0 {
+		panic(fmt.Sprintf("workload: Bursty(rate=%g, burst=%g, stay=%g)", rate, burst, stay))
+	}
+	// rateLo and rateHi = burst*rateLo averaging to rate over equal
+	// sojourns: rateLo = 2*rate/(1+burst).
+	lo := 2 * rate / (1 + burst)
+	return NewMMPP(lo, burst*lo, stay, stay, seed)
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// drain collects n gaps and returns them plus their sum.
+func drain(a Arrivals, n int) ([]float64, float64) {
+	gaps := make([]float64, n)
+	var sum float64
+	for i := range gaps {
+		gaps[i] = a.Next()
+		if gaps[i] < 0 {
+			panic("negative gap")
+		}
+		sum += gaps[i]
+	}
+	return gaps, sum
+}
+
+// TestArrivalsDeterministic requires bit-identical gap streams for
+// identical seeds and different streams for different seeds.
+func TestArrivalsDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(seed int64) Arrivals
+	}{
+		{"poisson", func(s int64) Arrivals { return NewPoisson(500, s) }},
+		{"mmpp", func(s int64) Arrivals { return NewMMPP(100, 2000, 0.05, 0.01, s) }},
+		{"bursty", func(s int64) Arrivals { return NewBursty(500, 8, 0.02, s) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, _ := drain(tc.mk(42), 5000)
+			b, _ := drain(tc.mk(42), 5000)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("gap %d differs across identically seeded processes: %g vs %g", i, a[i], b[i])
+				}
+			}
+			c, _ := drain(tc.mk(43), 5000)
+			same := true
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Error("different seeds produced identical gap streams")
+			}
+		})
+	}
+}
+
+// TestArrivalsMeanRate checks that the empirical rate over a long
+// stream converges to the declared Rate().
+func TestArrivalsMeanRate(t *testing.T) {
+	const n = 200000
+	for _, a := range []Arrivals{
+		NewPoisson(1000, 1),
+		NewMMPP(200, 1800, 0.05, 0.05, 1),
+		NewBursty(1000, 10, 0.01, 1),
+	} {
+		_, sum := drain(a, n)
+		got := float64(n) / sum
+		if rel := math.Abs(got-a.Rate()) / a.Rate(); rel > 0.05 {
+			t.Errorf("%s: empirical rate %.1f vs declared %.1f (rel err %.3f)", a.Name(), got, a.Rate(), rel)
+		}
+	}
+}
+
+// TestMMPPBurstier checks the burstiness signature: at a matched mean
+// rate, MMPP inter-arrival gaps have a higher coefficient of variation
+// than Poisson's (which is 1 for exponential gaps).
+func TestMMPPBurstier(t *testing.T) {
+	cv := func(gaps []float64) float64 {
+		var mean float64
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		var v float64
+		for _, g := range gaps {
+			v += (g - mean) * (g - mean)
+		}
+		return math.Sqrt(v/float64(len(gaps))) / mean
+	}
+	pg, _ := drain(NewPoisson(1000, 3), 100000)
+	mg, _ := drain(NewBursty(1000, 16, 0.02, 3), 100000)
+	pcv, mcv := cv(pg), cv(mg)
+	if math.Abs(pcv-1) > 0.05 {
+		t.Errorf("Poisson CV = %.3f, want ~1", pcv)
+	}
+	if mcv < 1.2 {
+		t.Errorf("MMPP CV = %.3f, want clearly above Poisson's 1", mcv)
+	}
+}
+
+// TestOnOffMMPP exercises the rateLo = 0 on-off special case: the
+// quiet state emits nothing and the stream still advances.
+func TestOnOffMMPP(t *testing.T) {
+	a := NewMMPP(0, 1000, 0.01, 0.01, 9)
+	gaps, sum := drain(a, 10000)
+	if sum <= 0 {
+		t.Fatal("on-off MMPP made no progress")
+	}
+	if got, want := float64(len(gaps))/sum, a.Rate(); math.Abs(got-want)/want > 0.1 {
+		t.Errorf("on-off empirical rate %.1f vs declared %.1f", got, want)
+	}
+}
+
+// TestArrivalsValidation pins the constructor panics.
+func TestArrivalsValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"poisson-zero":    func() { NewPoisson(0, 1) },
+		"mmpp-neg-lo":     func() { NewMMPP(-1, 10, 1, 1, 1) },
+		"mmpp-zero-hi":    func() { NewMMPP(0, 0, 1, 1, 1) },
+		"mmpp-zero-stay":  func() { NewMMPP(1, 10, 0, 1, 1) },
+		"bursty-burst-le": func() { NewBursty(10, 1, 1, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic on invalid parameters")
+				}
+			}()
+			fn()
+		})
+	}
+}
