@@ -28,15 +28,25 @@ HOST_BENCHES = BenchmarkHostRuntimeThroughput|BenchmarkHostRuntimeThroughput8|Be
 # amortisation win stays measured and neither path regresses.
 SERVE_BENCHES = BenchmarkHostServe64|BenchmarkHostServe128|BenchmarkHostServe256|BenchmarkHostServePerJob64|BenchmarkHostServePerJob128|BenchmarkHostServePerJob256|BenchmarkGateAdmitBatched|BenchmarkGateAdmitPerJob
 
+# Policy-plugin benchmarks: the PolicyThrottler window boundary —
+# per-class aggregation, signal harvest, Observe, decision publish —
+# must stay allocation-free, or every W pairs the scheduler hot path
+# pays a GC tax the legacy controllers never did.
+CORE_BENCHES = BenchmarkPolicyObserve
+
 # Benchmarks pinned allocation-free by `make bench-check`: the
 # zero-allocation hot paths from the PR 2 work must never regrow an
 # alloc, the warm Calibrator's adjacent re-measure joins them, and the
-# serving-path admission primitives stay allocation-free too.
-ZERO_ALLOC   = BenchmarkEngineStep,BenchmarkDRAMAccess,BenchmarkStreamPump,BenchmarkGateAdmitBatched,BenchmarkGateAdmitPerJob
+# serving-path admission primitives and the policy-plugin window
+# boundary stay allocation-free too.
+ZERO_ALLOC   = BenchmarkEngineStep,BenchmarkDRAMAccess,BenchmarkStreamPump,BenchmarkGateAdmitBatched,BenchmarkGateAdmitPerJob,BenchmarkPolicyObserve
 
-.PHONY: check fmt vet build test race bench bench-host bench-baseline bench-check
+.PHONY: check lint fmt vet build test race bench bench-host bench-baseline bench-check
 
-check: fmt vet build test race
+check: lint build test race
+
+# lint is the static gate on its own: formatting plus go vet.
+lint: fmt vet
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -61,15 +71,20 @@ test:
 # detector, plus the persistent result cache's concurrent-writer
 # suite (shared by mtlbench -j fan-outs). The rest of the tree is
 # single-goroutine simulation already covered by `test`.
+# RobustnessR2 joins the race pass as the adversarial stress: it fans
+# the 15-cell attack grid across 4 workers through parallel.Map while
+# each cell drives the class-aware PolicyThrottler (atomic limit and
+# blacklist publication against concurrent readers).
 race:
 	$(GO) test -race ./host/... ./internal/parallel/...
-	$(GO) test -race -run 'DiskCache|Cached' ./internal/experiments
+	$(GO) test -race -run 'DiskCache|Cached|RobustnessR2' ./internal/experiments
 
 # bench runs the simulator hot-path benchmarks and reports deltas
 # against the committed baseline. bench-baseline rewrites the baseline
 # from a fresh run (do this only when intentionally re-pinning).
 bench:
 	@{ $(GO) test -run '^$$' -bench '^BenchmarkEngineStep$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
+	   $(GO) test -run '^$$' -bench '^($(CORE_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/core; \
 	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
 	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \
 	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json
@@ -82,6 +97,7 @@ bench-host:
 
 bench-baseline:
 	@{ $(GO) test -run '^$$' -bench '^BenchmarkEngineStep$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
+	   $(GO) test -run '^$$' -bench '^($(CORE_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/core; \
 	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
 	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \
 	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json -write -note "$(NOTE)"
@@ -92,6 +108,7 @@ bench-baseline:
 # benchmarks.
 bench-check:
 	@{ $(GO) test -run '^$$' -bench '^BenchmarkEngineStep$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
+	   $(GO) test -run '^$$' -bench '^($(CORE_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/core; \
 	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
 	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \
 	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json -check -max-regress 0.15 -zero-alloc '$(ZERO_ALLOC)'

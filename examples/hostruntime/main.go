@@ -33,6 +33,15 @@
 // faulty jobs. Checksum verification is skipped in serving mode (jobs
 // re-execute the same arrays concurrently, so the generation sums
 // don't apply).
+//
+// With -attack the serving path runs a two-class adversarial scenario:
+// a victim stream (class 0) of ordinary pairs shares the server with a
+// flooding attacker (class 1) whose memory tasks drag a footprint
+// several times the victim's through the cache. A class-blind dynamic
+// controller can only throttle everyone; the blacklist policy plugin
+// (core.PolicyThrottler wrapping a rotating counting-window hog
+// detector over D-MTL) demotes the attacker's class and sheds it at
+// ingress, and the report contrasts the two.
 package main
 
 import (
@@ -44,9 +53,12 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"memthrottle/host"
+	"memthrottle/internal/core"
 	"memthrottle/internal/prof"
 	"memthrottle/internal/workload"
 )
@@ -67,6 +79,7 @@ type domainSnapshot struct {
 func main() {
 	log.SetFlags(0)
 	chaos := flag.Bool("chaos", false, "inject faults (spikes, errors, panics) and recover via retry")
+	attack := flag.Bool("attack", false, "adversarial serving mode: flood attacker vs victim, class-blind vs blacklist policy")
 	rate := flag.Float64("rate", 0, "open-loop serving mode: offered load in jobs/sec (0 = closed-loop phases)")
 	duration := flag.Duration("duration", 3*time.Second, "serving mode: how long each policy serves")
 	shedName := flag.String("shed", "reject", "serving mode overload response: reject | drop | block")
@@ -102,6 +115,15 @@ func main() {
 	arrays, err := host.NewArraySet(64, 1<<20)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *attack {
+		r := *rate
+		if r <= 0 {
+			r = 2000
+		}
+		runAttack(arrays, workers, *domains, r, *duration)
+		return
 	}
 
 	if *rate > 0 {
@@ -338,6 +360,108 @@ func runServe(arrays *host.ArraySet, workers, domains int, rate float64, duratio
 	} else {
 		fmt.Println("(single-CPU host: adaptive policies need >= 2 workers; skipping)")
 	}
+}
+
+// runAttack is the adversarial serving demo: a victim stream of
+// ordinary pairs (class 0) and a flooding attacker (class 1) whose
+// memory task drags a footprint 8x the victim arrays through the
+// cache, submitted concurrently against the same server. The
+// class-blind dynamic controller sees only aggregate slowdown and
+// throttles victim and attacker alike; the blacklist policy plugin
+// attributes the contention to the attacker's class, demotes it and
+// sheds it at ingress, so the victim's service tail recovers.
+func runAttack(arrays *host.ArraySet, workers, domains int, rate float64, duration time.Duration) {
+	if workers < 2 {
+		log.Fatal("-attack needs >= 2 workers (adaptive controllers)")
+	}
+	victims, err := arrays.Pairs(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The attacker's gather walks 8 MB per job — 8x one victim array —
+	// with a token compute tail, so every admitted attack job pins a
+	// memory slot for a long, bandwidth-heavy stretch.
+	hog := make([]int64, (8<<20)/8)
+	for i := range hog {
+		hog[i] = int64(i)
+	}
+	var sink atomic.Int64
+	attacker := host.Pair{
+		Class: 1,
+		Memory: func() {
+			var s int64
+			for i := 0; i < len(hog); i += 8 {
+				s += hog[i]
+			}
+			sink.Add(s)
+		},
+		Compute: func() { sink.Add(1) },
+	}
+
+	attackRate := 0.6 * rate
+	fmt.Printf("attack mode: victim %.0f jobs/s + flood attacker %.0f jobs/s for %v per policy\n\n",
+		rate, attackRate, duration)
+
+	serve := func(name string, cfg host.Config) {
+		cfg.Domains = domains
+		rt, err := host.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rt.Close()
+		srv, err := rt.Serve(host.ServeConfig{Queue: 1024, Shed: host.ShedReject})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Two open-loop submitters race against the same deadline; each
+		// is single-writer on its own counters, read after the Wait.
+		var wg sync.WaitGroup
+		var vAcc, vShed, aAcc, aShed int64
+		submit := func(rate float64, seed int64, pairs []host.Pair, acc, shed *int64) {
+			defer wg.Done()
+			arr := workload.NewPoisson(rate, seed)
+			deadline := time.Now().Add(duration)
+			next := time.Now()
+			for i := 0; ; i++ {
+				next = next.Add(time.Duration(arr.Next() * float64(time.Second)))
+				if next.After(deadline) {
+					return
+				}
+				time.Sleep(time.Until(next))
+				if err := srv.Submit(pairs[i%len(pairs)]); err != nil {
+					*shed++
+				} else {
+					*acc++
+				}
+			}
+		}
+		wg.Add(2)
+		go submit(rate, 1, victims, &vAcc, &vShed)
+		go submit(attackRate, 2, []host.Pair{attacker}, &aAcc, &aShed)
+		wg.Wait()
+		st, err := srv.Drain(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s goodput %8.0f jobs/s   completed %6d  rejected %d  final MTL %d\n",
+			name, st.Goodput, st.Completed, st.Rejected, st.FinalMTL)
+		fmt.Printf("    victim   %6d accepted %6d refused\n", vAcc, vShed)
+		fmt.Printf("    attacker %6d accepted %6d refused (%d shed at ingress by blacklist)\n",
+			aAcc, aShed, st.Blacklisted)
+		fmt.Printf("    service p50 %8v  p99 %8v  p99.9 %8v\n",
+			st.ServiceLatency.P50().Round(time.Microsecond),
+			st.ServiceLatency.P99().Round(time.Microsecond),
+			st.ServiceLatency.P999().Round(time.Microsecond))
+	}
+
+	serve("dynamic (blind)", host.Config{Workers: workers, Policy: host.Dynamic, W: 8})
+	serve("blacklist+D-MTL", host.Config{
+		Workers: workers,
+		Throttler: core.NewPolicyThrottler(
+			core.NewBlacklist(core.NewDynamic(core.NewModel(workers), 8), core.BlacklistOptions{}),
+			8, workers),
+	})
 }
 
 // chaosInjector builds the serving-mode fault injector, or nil when

@@ -2,6 +2,7 @@ package host
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -80,7 +81,9 @@ func (c FaultConfig) validate() error {
 	}
 	sum := 0.0
 	for _, r := range rates {
-		if r.v < 0 || r.v > 1 {
+		// NaN compares false against every bound, so test it explicitly:
+		// a NaN rate would otherwise pass and poison every plant decision.
+		if math.IsNaN(r.v) || r.v < 0 || r.v > 1 {
 			return fmt.Errorf("host: %s = %g, want in [0, 1]", r.name, r.v)
 		}
 		sum += r.v

@@ -3,6 +3,7 @@ package host
 import (
 	"context"
 	"errors"
+	"math"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -353,21 +354,43 @@ func TestFaultInjectorDeterminism(t *testing.T) {
 
 // TestFaultConfigValidation covers every rejection branch.
 func TestFaultConfigValidation(t *testing.T) {
-	bad := []FaultConfig{
-		{PanicRate: -0.1},
-		{HangRate: 1.5},
-		{ErrorRate: -1},
-		{SpikeRate: 2},
-		{PanicRate: 0.5, HangRate: 0.4, ErrorRate: 0.3}, // sum > 1
-		{SpikeDelay: -time.Second},
+	bad := []struct {
+		name string
+		cfg  FaultConfig
+	}{
+		{"negative panic rate", FaultConfig{PanicRate: -0.1}},
+		{"hang rate above 1", FaultConfig{HangRate: 1.5}},
+		{"negative error rate", FaultConfig{ErrorRate: -1}},
+		{"spike rate above 1", FaultConfig{SpikeRate: 2}},
+		{"rates sum above 1", FaultConfig{PanicRate: 0.5, HangRate: 0.4, ErrorRate: 0.3}},
+		{"negative spike delay", FaultConfig{SpikeDelay: -time.Second}},
+		{"NaN panic rate", FaultConfig{PanicRate: math.NaN()}},
+		{"NaN hang rate", FaultConfig{HangRate: math.NaN()}},
+		{"NaN error rate", FaultConfig{ErrorRate: math.NaN()}},
+		{"NaN spike rate", FaultConfig{SpikeRate: math.NaN()}},
+		{"positive-infinite rate", FaultConfig{ErrorRate: math.Inf(1)}},
+		{"negative-infinite rate", FaultConfig{SpikeRate: math.Inf(-1)}},
+		{"negative zero is fine but -0.1 is not", FaultConfig{PanicRate: -0.1, SpikeRate: 0.1}},
 	}
-	for i, c := range bad {
-		if _, err := NewFaultInjector(c); err == nil {
-			t.Errorf("bad fault config %d accepted: %+v", i, c)
+	for _, c := range bad {
+		if _, err := NewFaultInjector(c.cfg); err == nil {
+			t.Errorf("%s: bad fault config accepted: %+v", c.name, c.cfg)
 		}
 	}
-	if _, err := NewFaultInjector(FaultConfig{}); err != nil {
-		t.Errorf("zero fault config rejected: %v", err)
+	good := []struct {
+		name string
+		cfg  FaultConfig
+	}{
+		{"zero config", FaultConfig{}},
+		{"negative zero rate", FaultConfig{PanicRate: math.Copysign(0, -1)}},
+		{"rates sum to exactly 1", FaultConfig{PanicRate: 0.25, HangRate: 0.25, ErrorRate: 0.25, SpikeRate: 0.25}},
+		{"single full-rate fault", FaultConfig{ErrorRate: 1}},
+		{"forever-failing tasks", FaultConfig{ErrorRate: 0.5, FailuresPerTask: -1}},
+	}
+	for _, c := range good {
+		if _, err := NewFaultInjector(c.cfg); err != nil {
+			t.Errorf("%s: valid fault config rejected: %v", c.name, err)
+		}
 	}
 }
 

@@ -82,6 +82,14 @@ type Pair struct {
 	MemoryErr  func() error
 	ComputeErr func() error
 	ScatterErr func() error
+
+	// Class tags the pair's traffic class (0..core.MaxClasses-1; the
+	// zero value is the default class). Class-aware controllers
+	// (core.ClassLimiter, e.g. a blacklist policy behind
+	// core.PolicyThrottler) see the tag on every sample and may cap the
+	// class's concurrent memory tasks or demote it outright; class-blind
+	// controllers ignore it entirely.
+	Class int
 }
 
 // taskFns resolves the pair's slots into uniform error-returning
@@ -152,6 +160,14 @@ type Config struct {
 	Workers int
 	// Policy selects the controller. Default: Dynamic.
 	Policy Policy
+	// Throttler plugs a custom controller, overriding Policy — the
+	// host-side entry point of the policy-plugin architecture. Any
+	// core.Throttler works; one that also implements core.ClassLimiter
+	// (e.g. core.PolicyThrottler wrapping a blacklist policy) gets
+	// per-class admission and ingress shedding, and one implementing
+	// core.Observer receives issue/stall/retry signals. The runtime owns
+	// the controller's mutations; it must not be shared across runtimes.
+	Throttler core.Throttler
 	// MTL is the fixed limit for the Static policy. With Domains > 1
 	// it is the per-domain limit: each domain admits up to MTL
 	// concurrent memory tasks homed there, exactly as each DIMM of the
@@ -183,6 +199,14 @@ type Config struct {
 	// that triggers graceful degradation. Default: 3 (when the
 	// watchdog is armed).
 	StallFallbackAfter int
+	// StallRecoverAfter, when positive, lets a serving session's
+	// watchdog re-arm a degraded Dynamic controller after that many
+	// consecutive clean scans (no in-flight task over StallTimeout):
+	// the attacker that wedged the runtime has stopped, so adaptive
+	// throttling resumes with a fresh MTL selection. 0 (the default)
+	// keeps the batch semantics — degradation lasts for the life of
+	// the controller.
+	StallRecoverAfter int
 }
 
 // withDefaults fills zero fields.
@@ -217,14 +241,23 @@ func (c Config) validate() error {
 	if c.Domain != nil && c.Domains < 2 {
 		return fmt.Errorf("host: Domain assignment set with %d domain(s)", c.Domains)
 	}
-	if c.Policy == Static && (c.MTL < 1 || c.MTL > c.Workers) {
-		return fmt.Errorf("host: static MTL = %d, want within [1, %d]", c.MTL, c.Workers)
-	}
-	if c.Policy != Static && c.MTL != 0 {
-		return fmt.Errorf("host: MTL set with non-static policy %v", c.Policy)
-	}
-	if (c.Policy == Dynamic || c.Policy == OnlineExhaustive) && c.Workers < 2 {
-		return fmt.Errorf("host: adaptive policies need >= 2 workers")
+	if c.Throttler != nil {
+		if c.MTL != 0 {
+			return fmt.Errorf("host: MTL set with a custom Throttler")
+		}
+		if c.Policy != Conventional {
+			return fmt.Errorf("host: Policy %v set with a custom Throttler", c.Policy)
+		}
+	} else {
+		if c.Policy == Static && (c.MTL < 1 || c.MTL > c.Workers) {
+			return fmt.Errorf("host: static MTL = %d, want within [1, %d]", c.MTL, c.Workers)
+		}
+		if c.Policy != Static && c.MTL != 0 {
+			return fmt.Errorf("host: MTL set with non-static policy %v", c.Policy)
+		}
+		if (c.Policy == Dynamic || c.Policy == OnlineExhaustive) && c.Workers < 2 {
+			return fmt.Errorf("host: adaptive policies need >= 2 workers")
+		}
 	}
 	if err := c.Retry.validate(); err != nil {
 		return err
@@ -240,6 +273,12 @@ func (c Config) validate() error {
 	}
 	if c.StallFallbackAfter > 0 && c.StallTimeout == 0 {
 		return fmt.Errorf("host: StallFallbackAfter set without StallTimeout")
+	}
+	if c.StallRecoverAfter < 0 {
+		return fmt.Errorf("host: StallRecoverAfter = %d, want >= 0", c.StallRecoverAfter)
+	}
+	if c.StallRecoverAfter > 0 && c.StallTimeout == 0 {
+		return fmt.Errorf("host: StallRecoverAfter set without StallTimeout")
 	}
 	return nil
 }
@@ -289,6 +328,17 @@ type Runtime struct {
 	cfg Config
 	th  core.Throttler
 
+	// lim and obs are th's class-aware views, nil for class-blind
+	// controllers. Both are safe for concurrent reads by contract
+	// (atomic fields behind core.PolicyThrottler).
+	lim core.ClassLimiter
+	obs core.Observer
+
+	// classActive counts in-flight memory tasks per traffic class,
+	// maintained only when lim is set (the class-blind hot path pays
+	// nothing). It spans Run and Serve sessions like the gates do.
+	classActive [core.MaxClasses]atomic.Int64
+
 	// gates admit memory-class tasks with a CAS against the mirrored
 	// MTL, one gate per memory domain; lot parks idle workers for
 	// targeted wakeups. Both span Run calls so tasks wedged past an
@@ -323,18 +373,22 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	r := &Runtime{cfg: cfg}
-	switch cfg.Policy {
-	case Conventional:
+	switch {
+	case cfg.Throttler != nil:
+		r.th = cfg.Throttler
+	case cfg.Policy == Conventional:
 		r.th = core.Fixed{K: cfg.Workers}
-	case Static:
+	case cfg.Policy == Static:
 		r.th = core.Fixed{K: cfg.MTL}
-	case Dynamic:
+	case cfg.Policy == Dynamic:
 		r.th = core.NewDynamic(core.NewModel(cfg.Workers), cfg.W)
-	case OnlineExhaustive:
+	case cfg.Policy == OnlineExhaustive:
 		r.th = core.NewOnlineExhaustive(core.NewModel(cfg.Workers), cfg.W, 0.10)
 	default:
 		return nil, fmt.Errorf("host: unknown policy %v", cfg.Policy)
 	}
+	r.lim, _ = r.th.(core.ClassLimiter)
+	r.obs, _ = r.th.(core.Observer)
 	r.gates = make([]gate, cfg.Domains)
 	limit := int64(r.th.MTL())
 	for d := range r.gates {
@@ -377,6 +431,39 @@ func (r *Runtime) releaseMem(d int) {
 	if len(r.gates) > 1 {
 		r.memActive.Add(-1)
 	}
+}
+
+// admitClass claims an in-flight slot for class c against the
+// controller's per-class limit (blacklisted classes report 1 — fully
+// serialized). Class-blind controllers admit unconditionally and pay
+// nothing; class-aware ones always maintain the count so a limit that
+// appears mid-run (a demotion) binds against accurate occupancy.
+func (r *Runtime) admitClass(c int) bool {
+	if r.lim == nil {
+		return true
+	}
+	cl := r.lim.ClassLimit(c)
+	if cl <= 0 {
+		r.classActive[c].Add(1)
+		return true
+	}
+	for {
+		a := r.classActive[c].Load()
+		if a >= int64(cl) {
+			return false
+		}
+		if r.classActive[c].CompareAndSwap(a, a+1) {
+			return true
+		}
+	}
+}
+
+// releaseClass returns class c's slot.
+func (r *Runtime) releaseClass(c int) {
+	if r.lim == nil {
+		return
+	}
+	r.classActive[c].Add(-1)
 }
 
 // peakConcurrentM reports the run-wide peak concurrent memory tasks.
@@ -470,6 +557,7 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	}
 	nd := r.cfg.Domains
 	pairDom := make([]int32, len(pairs))
+	pairClass := make([]int32, len(pairs))
 	for i := range pairs {
 		d := i % nd
 		if r.cfg.Domain != nil {
@@ -479,6 +567,10 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 			}
 		}
 		pairDom[i] = int32(d)
+		if c := pairs[i].Class; c < 0 || c >= core.MaxClasses {
+			return Stats{}, fmt.Errorf("host: pair %d class = %d, want within [0, %d)", i, c, core.MaxClasses)
+		}
+		pairClass[i] = int32(pairs[i].Class)
 	}
 	if r.cfg.RunTimeout > 0 {
 		var cancel context.CancelFunc
@@ -504,17 +596,18 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	// for memory, +1 compute, +2 scatter), so dispatching a successor
 	// is pointer arithmetic, not an allocation.
 	ph := &phase{
-		rt:      r,
-		ctx:     ctx,
-		jobs:    jobs,
-		nd:      nd,
-		pairDom: pairDom,
-		doms:    make([]domainState, nd),
-		tmDur:   make([]time.Duration, len(pairs)),
-		workers: make([]atomic.Pointer[worker], nw),
-		start:   time.Now(),
-		pairs:   len(pairs),
-		done:    make(chan struct{}),
+		rt:        r,
+		ctx:       ctx,
+		jobs:      jobs,
+		nd:        nd,
+		pairDom:   pairDom,
+		pairClass: pairClass,
+		doms:      make([]domainState, nd),
+		tmDur:     make([]time.Duration, len(pairs)),
+		workers:   make([]atomic.Pointer[worker], nw),
+		start:     time.Now(),
+		pairs:     len(pairs),
+		done:      make(chan struct{}),
 	}
 	ph.watch = r.cfg.StallTimeout > 0
 	if ph.watch {
@@ -617,6 +710,9 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	}
 	if o, ok := r.th.(*core.OnlineExhaustive); ok {
 		st.MTLDecisions = append([]int(nil), o.History...)
+	}
+	if p, ok := r.th.(*core.PolicyThrottler); ok {
+		st.MTLDecisions = append([]int(nil), p.History...)
 	}
 	r.ctrlMu.Unlock()
 	if n := ph.nTm.Load(); n > 0 {
@@ -793,16 +889,17 @@ type domainState struct {
 
 // phase is the shared state of one Run.
 type phase struct {
-	rt      *Runtime
-	ctx     context.Context
-	pairs   int
-	nd      int     // memory domain count
-	pairDom []int32 // home domain per pair
-	jobs    []job   // id-indexed task block (3·pair + class)
-	doms    []domainState
-	workers []atomic.Pointer[worker] // lazily spawned, published per slot
-	spawned atomic.Int32             // worker slots claimed so far
-	start   time.Time
+	rt        *Runtime
+	ctx       context.Context
+	pairs     int
+	nd        int     // memory domain count
+	pairDom   []int32 // home domain per pair
+	pairClass []int32 // traffic class per pair
+	jobs      []job   // id-indexed task block (3·pair + class)
+	doms      []domainState
+	workers   []atomic.Pointer[worker] // lazily spawned, published per slot
+	spawned   atomic.Int32             // worker slots claimed so far
+	start     time.Time
 
 	remain    atomic.Int64 // tasks not yet finished
 	completed atomic.Int64 // pairs whose compute finished
@@ -844,6 +941,9 @@ type phase struct {
 
 // domOf reports the home domain of a job's pair.
 func (ph *phase) domOf(j *job) int { return int(ph.pairDom[j.pair()]) }
+
+// classOf reports the traffic class of a job's pair.
+func (ph *phase) classOf(j *job) int { return int(ph.pairClass[j.pair()]) }
 
 // spawnWorker starts one more worker goroutine if the pool has not
 // reached Config.Workers yet. Safe from any goroutine; the CAS makes
@@ -990,18 +1090,32 @@ func (ph *phase) acquireMem(w *worker, d int) *job {
 	if !r.admit(d) {
 		return nil
 	}
+	var j *job
 	if q := w.mem[d].Load(); q != nil {
-		if j := q.popBottom(); j != nil {
-			ds.readyMem.Add(-1)
-			return j
+		j = q.popBottom()
+	}
+	if j == nil {
+		j = ds.over.mem.take()
+	}
+	if j == nil {
+		j = ph.stealMem(w, d)
+	}
+	if j != nil {
+		c := ph.classOf(j)
+		if !r.admitClass(c) {
+			// Class-capped (limited or demoted): hand the job and the
+			// speculative gate slot back. The worker releasing the
+			// class's in-flight slot re-scans right after and finds the
+			// requeued job, so a capped class drains serialized instead
+			// of deadlocking.
+			ds.over.mem.put(j)
+			r.releaseMem(d)
+			return nil
 		}
-	}
-	if j := ds.over.mem.take(); j != nil {
 		ds.readyMem.Add(-1)
-		return j
-	}
-	if j := ph.stealMem(w, d); j != nil {
-		ds.readyMem.Add(-1)
+		if r.obs != nil {
+			r.obs.OnSignal(c, core.SignalIssue)
+		}
 		return j
 	}
 	// Raced away: hand the speculative slot back, and nudge one
@@ -1142,6 +1256,13 @@ func (ph *phase) execute(w *worker, j *job) bool {
 	dur, end, attempts, err := ph.runWithRetry(w.slot, j)
 	if j.memory() {
 		ph.rt.releaseMem(ph.domOf(j))
+		if ph.rt.lim != nil {
+			// Class-aware mode: the freed class slot may be exactly what
+			// a parked worker's capped job is waiting for, and this
+			// worker may move on to other work — wake one sleeper.
+			ph.rt.releaseClass(ph.classOf(j))
+			ph.rt.lot.unparkOne()
+		}
 		// No wake on release: while admissible work remains, either
 		// this worker's next acquire or the worker that races it into
 		// the freed slot stays active and keeps draining — waking a
@@ -1242,9 +1363,10 @@ func (ph *phase) feedController(pair int, dur time.Duration, end time.Time) {
 	r := ph.rt
 	r.ctrlMu.Lock()
 	r.th.OnPair(core.PairSample{
-		Tm:  core.Time(ph.tmDur[pair].Seconds()),
-		Tc:  core.Time(dur.Seconds()),
-		Now: core.Time(end.Sub(ph.start).Seconds()),
+		Tm:    core.Time(ph.tmDur[pair].Seconds()),
+		Tc:    core.Time(dur.Seconds()),
+		Now:   core.Time(end.Sub(ph.start).Seconds()),
+		Class: int(ph.pairClass[pair]),
 	})
 	oldLimit := r.gates[0].limit.Load()
 	newLimit := int64(r.th.MTL())
@@ -1274,7 +1396,7 @@ func (ph *phase) runWithRetry(slot int, j *job) (dur time.Duration, end time.Tim
 	var rng *rand.Rand
 	for attempts = 1; ; attempts++ {
 		if ph.watch {
-			ph.flight[slot].set(j.pair())
+			ph.flight[slot].set(j.pair(), ph.classOf(j))
 		}
 		t0 := time.Now()
 		err = ph.runTask(j)
@@ -1290,6 +1412,9 @@ func (ph *phase) runWithRetry(slot int, j *job) (dur time.Duration, end time.Tim
 		}
 		if ph.ctx.Err() != nil {
 			return 0, end, attempts, err
+		}
+		if ph.rt.obs != nil {
+			ph.rt.obs.OnSignal(ph.classOf(j), core.SignalRetry)
 		}
 		if rng == nil {
 			// Decorrelated per worker, reproducible per seed.

@@ -74,6 +74,11 @@ var (
 	ErrQueueFull = errors.New("host: serving queue full")
 	// ErrDraining is returned by Submit once Drain has begun.
 	ErrDraining = errors.New("host: server draining")
+	// ErrBlacklisted is returned by Submit when the pair's traffic class
+	// is currently demoted by a class-aware controller: the job is shed
+	// at ingress, regardless of the shedding mode, until the blacklist
+	// releases the class.
+	ErrBlacklisted = errors.New("host: traffic class blacklisted")
 )
 
 // ServeConfig tunes one Serve session.
@@ -133,6 +138,21 @@ type ServeStats struct {
 	AdmitBatches int64
 	AdmittedJobs int64
 
+	// Blacklisted counts Submit calls refused because the pair's class
+	// was demoted at the time — the ingress half of containment.
+	Blacklisted int64
+
+	// Stalls counts tasks flagged by the stall watchdog; Stalled holds
+	// the seq of each flagged job in detection order. Degraded reports
+	// whether the Dynamic controller fell back to the conventional
+	// schedule during the session, and Rearms how many times the
+	// watchdog lifted the fallback after the stall storm passed
+	// (Config.StallRecoverAfter).
+	Stalls   int64
+	Stalled  []int64
+	Degraded bool
+	Rearms   int64
+
 	Elapsed        time.Duration
 	Goodput        float64 // completed jobs per second of Elapsed
 	FinalMTL       int
@@ -157,6 +177,7 @@ type servJob struct {
 
 	seq     int64
 	dom     int32
+	class   int32
 	scatter bool // true: the scatter task is the next admission
 
 	enqNs   int64 // Submit time, ns since Serve start
@@ -172,9 +193,12 @@ type servDomain struct {
 	// past Config.Workers and never legitimately fills. scat holds jobs
 	// between compute and scatter, awaiting re-admission (and is the
 	// unbounded fallback if admitted ever reports full mid-handoff).
+	// held parks jobs whose traffic class is at its per-class limit;
+	// they are retried ahead of fresh ingress on every later pump.
 	pend     *mpmcRing
 	admitted *mpmcRing
 	scat     servList
+	held     servList
 }
 
 // servList is the serving analogue of jobList: an unbounded mutex FIFO
@@ -251,6 +275,18 @@ type Server struct {
 	dropped, rejected            atomic.Int64
 	retries, recovered           atomic.Int64
 	admitBatches, admittedJobs   atomic.Int64
+	blacklisted                  atomic.Int64
+
+	// Stall-watchdog state (Config.StallTimeout > 0 only): per-worker
+	// flight records plus the bookkeeping the watchdog goroutine and
+	// Drain share.
+	watch       bool
+	flight      []flightRec
+	stallMu     sync.Mutex
+	stalls      int64
+	stalledSeqs []int64
+	degraded    bool
+	rearms      int64
 
 	// blockMu/blockCond park ShedBlock submitters; blockWaiters keeps
 	// the signal off the completion hot path when nobody waits.
@@ -310,6 +346,11 @@ func (r *Runtime) Serve(sc ServeConfig) (*Server, error) {
 	for d := range r.gates {
 		r.gates[d].resetPeak()
 	}
+	s.watch = r.cfg.StallTimeout > 0
+	if s.watch {
+		s.flight = make([]flightRec, r.cfg.Workers)
+		go s.watchdog()
+	}
 	return s, nil
 }
 
@@ -334,6 +375,16 @@ func (s *Server) Submit(p Pair) error {
 	}
 	if p.Scatter != nil && p.ScatterErr != nil {
 		return fmt.Errorf("host: submit: both Scatter and ScatterErr set")
+	}
+	if p.Class < 0 || p.Class >= core.MaxClasses {
+		return fmt.Errorf("host: submit: class = %d, want within [0, %d)", p.Class, core.MaxClasses)
+	}
+	// Ingress containment: a demoted class is refused before it costs a
+	// block or a queue slot, whatever the shedding mode — exactly the
+	// arrival-shedding half of blacklist demotion in the simulator.
+	if s.rt.lim != nil && s.rt.lim.Blacklisted(p.Class) {
+		s.blacklisted.Add(1)
+		return ErrBlacklisted
 	}
 
 	// inflight rises before the draining re-check: Drain observes
@@ -378,6 +429,7 @@ func (s *Server) enqueue(seq int64, dom int, p Pair) bool {
 	j.scat, j.scatE = p.Scatter, p.ScatterErr
 	j.seq = seq
 	j.dom = int32(dom)
+	j.class = int32(p.Class)
 	j.scatter = false
 	j.enqNs = s.nowNs()
 	j.admitNs = 0
@@ -457,7 +509,7 @@ func (s *Server) pump(d int) {
 	sd := &s.doms[d]
 	batch := int64(s.sc.AdmitBatch)
 	for {
-		pending := sd.scat.n.Load() + int64(sd.pend.length())
+		pending := sd.scat.n.Load() + sd.held.n.Load() + int64(sd.pend.length())
 		if pending == 0 {
 			return
 		}
@@ -470,14 +522,27 @@ func (s *Server) pump(d int) {
 			return
 		}
 		var moved int64
+		var deferred []*servJob
 		now := s.nowNs()
 		for moved < n {
 			j := sd.scat.take()
+			if j == nil {
+				j = sd.held.take()
+			}
 			if j == nil {
 				j = sd.pend.pop()
 			}
 			if j == nil {
 				break
+			}
+			if !s.rt.admitClass(int(j.class)) {
+				// The job's class is at its per-class cap (a demoted
+				// class runs fully serialized): defer it and keep
+				// admitting other traffic. The slice allocates only in
+				// class-capped sessions — the cooperative serving path
+				// stays allocation-free.
+				deferred = append(deferred, j)
+				continue
 			}
 			if j.admitNs == 0 {
 				j.admitNs = now
@@ -486,10 +551,17 @@ func (s *Server) pump(d int) {
 				// Sized past the gate limit, the admitted ring only
 				// reports full during a racing pop's handoff; recycle
 				// through the unbounded scatter list and retry later.
+				s.rt.releaseClass(int(j.class))
 				sd.scat.put(j)
 				break
 			}
+			if s.rt.obs != nil {
+				s.rt.obs.OnSignal(int(j.class), core.SignalIssue)
+			}
 			moved++
+		}
+		for _, j := range deferred {
+			sd.held.put(j)
 		}
 		if moved < n {
 			s.releaseSlots(d, n-moved)
@@ -628,6 +700,7 @@ func (s *Server) exec(w *serveWorker, j *servJob) {
 	if j.scatter {
 		_, err := s.runRetry(w, j.scat, j.scatE, j, "scatter")
 		s.releaseSlots(d, 1)
+		s.rt.releaseClass(int(j.class))
 		s.pump(d)
 		s.finishJob(w, j, err != nil)
 		return
@@ -635,6 +708,7 @@ func (s *Server) exec(w *serveWorker, j *servJob) {
 	w.queueH.Record(time.Duration(j.admitNs - j.enqNs))
 	tm, err := s.runRetry(w, j.mem, j.memE, j, "memory")
 	s.releaseSlots(d, 1)
+	s.rt.releaseClass(int(j.class))
 	s.pump(d)
 	if err != nil {
 		s.finishJob(w, j, true)
@@ -665,9 +739,10 @@ func (s *Server) feedController(j *servJob, tc time.Duration) {
 	r := s.rt
 	r.ctrlMu.Lock()
 	r.th.OnPair(core.PairSample{
-		Tm:  core.Time(time.Duration(j.tmNs).Seconds()),
-		Tc:  core.Time(tc.Seconds()),
-		Now: core.Time(time.Since(s.start).Seconds()),
+		Tm:    core.Time(time.Duration(j.tmNs).Seconds()),
+		Tc:    core.Time(tc.Seconds()),
+		Now:   core.Time(time.Since(s.start).Seconds()),
+		Class: int(j.class),
 	})
 	old := r.gates[0].limit.Load()
 	newLimit := int64(r.th.MTL())
@@ -685,7 +760,14 @@ func (s *Server) feedController(j *servJob, tc time.Duration) {
 func (s *Server) runRetry(w *serveWorker, fn func(), fnE func() error, j *servJob, name string) (time.Duration, error) {
 	pol := s.rt.cfg.Retry
 	var rng *rand.Rand
+	if s.watch {
+		f := &s.flight[w.slot]
+		defer f.clear()
+	}
 	for attempt := 1; ; attempt++ {
+		if s.watch {
+			s.flight[w.slot].set(int(j.seq), int(j.class))
+		}
 		t0 := time.Now()
 		err := s.runOnce(fn, fnE, j, name)
 		if err == nil {
@@ -701,6 +783,9 @@ func (s *Server) runRetry(w *serveWorker, fn func(), fnE func() error, j *servJo
 				err = fmt.Errorf("%w (after %d attempts)", err, attempt)
 			}
 			return 0, err
+		}
+		if s.rt.obs != nil {
+			s.rt.obs.OnSignal(int(j.class), core.SignalRetry)
 		}
 		if rng == nil {
 			// Allocated only on the retry slow path — the success path
@@ -803,10 +888,17 @@ func (s *Server) snapshotStats() ServeStats {
 		Recovered:      s.recovered.Load(),
 		AdmitBatches:   s.admitBatches.Load(),
 		AdmittedJobs:   s.admittedJobs.Load(),
+		Blacklisted:    s.blacklisted.Load(),
 		Elapsed:        time.Since(s.start),
 		FinalMTL:       s.rt.MTL(),
 		MaxConcurrentM: s.rt.peakConcurrentM(),
 	}
+	s.stallMu.Lock()
+	st.Stalls = s.stalls
+	st.Stalled = append([]int64(nil), s.stalledSeqs...)
+	st.Degraded = s.degraded
+	st.Rearms = s.rearms
+	s.stallMu.Unlock()
 	if sec := st.Elapsed.Seconds(); sec > 0 {
 		st.Goodput = float64(st.Completed) / sec
 	}

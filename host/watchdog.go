@@ -12,14 +12,16 @@ import (
 // any lock, and the watchdog scans without stopping the world.
 type flightRec struct {
 	pair    atomic.Int64
+	class   atomic.Int64 // traffic class, for the stall signal
 	start   atomic.Int64 // attempt start, UnixNano; 0 = idle
 	stalled atomic.Bool  // already flagged; a task stalls at most once
 }
 
 // set registers the start of one task attempt. Order matters: the pair
 // is published before the start timestamp arms the watchdog.
-func (f *flightRec) set(pair int) {
+func (f *flightRec) set(pair, class int) {
 	f.pair.Store(int64(pair))
+	f.class.Store(int64(class))
 	f.stalled.Store(false)
 	f.start.Store(time.Now().UnixNano())
 }
@@ -64,6 +66,9 @@ func (ph *phase) watchdog() {
 			ph.stalledPairs = append(ph.stalledPairs, int(f.pair.Load()))
 			degrade := ph.stalls >= r.cfg.StallFallbackAfter
 			ph.wdMu.Unlock()
+			if r.obs != nil {
+				r.obs.OnSignal(int(f.class.Load()), core.SignalStall)
+			}
 			// The flagged worker may be wedged for good; with lazily
 			// spawned workers it could even be the only one alive, so
 			// grow the pool by a replacement to keep the phase moving.
@@ -75,21 +80,47 @@ func (ph *phase) watchdog() {
 	}
 }
 
-// degrade pins an adaptive Dynamic controller to the conventional MTL,
-// mirrors the widened limit into the gate and records the fallback.
-func (r *Runtime) degrade(ph *phase) {
+// degradeController pins an adaptive Dynamic controller to the
+// conventional MTL and mirrors the widened limit into every gate.
+// Reports false for non-Dynamic or already-degraded controllers.
+func (r *Runtime) degradeController() bool {
 	r.ctrlMu.Lock()
+	defer r.ctrlMu.Unlock()
 	d, ok := r.th.(*core.Dynamic)
 	if !ok || d.Degraded() {
-		r.ctrlMu.Unlock()
-		return
+		return false
 	}
 	d.ForceConventional()
 	limit := int64(d.MTL())
 	for i := range r.gates {
 		r.gates[i].limit.Store(limit)
 	}
-	r.ctrlMu.Unlock()
+	return true
+}
+
+// rearmController lifts a degraded Dynamic controller's fallback,
+// restarting MTL selection, and mirrors the new probe limit into the
+// gates. Reports false when there is nothing to re-arm.
+func (r *Runtime) rearmController() bool {
+	r.ctrlMu.Lock()
+	defer r.ctrlMu.Unlock()
+	d, ok := r.th.(*core.Dynamic)
+	if !ok || !d.Degraded() {
+		return false
+	}
+	d.Rearm()
+	limit := int64(d.MTL())
+	for i := range r.gates {
+		r.gates[i].limit.Store(limit)
+	}
+	return true
+}
+
+// degrade records a batch phase's fallback and widens the pool.
+func (r *Runtime) degrade(ph *phase) {
+	if !r.degradeController() {
+		return
+	}
 	ph.wdMu.Lock()
 	ph.degraded = true
 	ph.wdMu.Unlock()
@@ -97,4 +128,78 @@ func (r *Runtime) degrade(ph *phase) {
 	// grow the pool (dispatch pressure takes it the rest of the way).
 	r.lot.unparkAll()
 	ph.spawnWorker()
+}
+
+// watchdog is the serving-session stall watchdog: the batch scan plus
+// the piece a barrier-free server needs — recovery. A batch phase ends
+// at its barrier, so degradation only ever has to last to the end of
+// the Run; a server runs indefinitely, and a controller pinned to the
+// conventional schedule forever after one stall storm would never
+// throttle again. With Config.StallRecoverAfter > 0, that many
+// consecutive clean scans (no task over the stall timeout — the
+// attacker stopped or was contained) re-arm the controller and restart
+// MTL selection.
+func (s *Server) watchdog() {
+	r := s.rt
+	tick := r.cfg.StallTimeout / 4
+	if tick < 200*time.Microsecond {
+		tick = 200 * time.Microsecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	clean := 0
+	for {
+		select {
+		case <-s.drained:
+			return
+		case <-t.C:
+		}
+		now := time.Now().UnixNano()
+		dirty := false
+		for i := range s.flight {
+			f := &s.flight[i]
+			start := f.start.Load()
+			if start == 0 || now-start <= int64(r.cfg.StallTimeout) {
+				continue
+			}
+			dirty = true
+			if f.stalled.Load() {
+				continue
+			}
+			f.stalled.Store(true)
+			s.stallMu.Lock()
+			s.stalls++
+			s.stalledSeqs = append(s.stalledSeqs, f.pair.Load())
+			degrade := s.stalls >= int64(r.cfg.StallFallbackAfter)
+			s.stallMu.Unlock()
+			if r.obs != nil {
+				r.obs.OnSignal(int(f.class.Load()), core.SignalStall)
+			}
+			// The wedged worker is out of rotation; grow the pool so
+			// the session keeps serving around it.
+			s.spawnWorker()
+			if degrade && r.degradeController() {
+				s.stallMu.Lock()
+				s.degraded = true
+				s.stallMu.Unlock()
+				// The limit widened to the worker count: admit and wake.
+				s.pumpAll()
+				s.lot.unparkAll()
+			}
+		}
+		if dirty {
+			clean = 0
+			continue
+		}
+		clean++
+		if ra := r.cfg.StallRecoverAfter; ra > 0 && clean >= ra {
+			clean = 0
+			if r.rearmController() {
+				s.stallMu.Lock()
+				s.rearms++
+				s.stallMu.Unlock()
+				s.pumpAll()
+			}
+		}
+	}
 }

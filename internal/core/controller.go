@@ -12,6 +12,10 @@ type PairSample struct {
 	Tm  Time // duration of the pair's memory task
 	Tc  Time // duration of the pair's compute task
 	Now Time // completion instant
+	// Class tags the traffic class the pair belongs to (0 for all
+	// single-tenant traffic). Class-aware policies aggregate per class;
+	// the legacy controllers ignore it.
+	Class int
 }
 
 // Throttler is the run-time policy interface: it owns the current MTL
@@ -55,6 +59,9 @@ func (f Fixed) Monitoring() bool { return false }
 
 // OnPair implements Throttler.
 func (f Fixed) OnPair(PairSample) {}
+
+// Observe implements Policy: a static policy always answers its K.
+func (f Fixed) Observe(WindowStats) Decision { return Decision{Limit: f.K} }
 
 // window accumulates W pair samples.
 type window struct {
@@ -100,6 +107,7 @@ type Dynamic struct {
 	watching  bool
 	prevIdle  int
 	prevRatio float64
+	flips     int // consecutive watch windows with a flipped IdleBound
 	guard     guard
 	degraded  bool
 
@@ -120,6 +128,13 @@ type DynamicOptions struct {
 	// memory-to-compute ratio moves by more than this relative amount
 	// — the fine-grained trigger §IV-B rejects (ablation A1).
 	NaiveRatioTrigger float64
+	// Hysteresis, when positive, requires that many additional
+	// consecutive windows to confirm an IdleBound flip before a new
+	// selection starts. It hardens the detector against phase-flip
+	// attackers that alternate memory/compute behaviour at exactly the
+	// window frequency to keep the controller perpetually re-probing.
+	// Zero is the paper's immediate trigger.
+	Hysteresis int
 }
 
 // NewDynamic builds the dynamic throttler for the given machine model
@@ -137,9 +152,19 @@ func NewDynamicOpts(model Model, w int, opts DynamicOptions) *Dynamic {
 	if opts.NaiveRatioTrigger < 0 {
 		panic(fmt.Sprintf("core: NaiveRatioTrigger = %g", opts.NaiveRatioTrigger))
 	}
+	if opts.Hysteresis < 0 {
+		panic(fmt.Sprintf("core: Hysteresis = %d", opts.Hysteresis))
+	}
 	d := &Dynamic{model: model, w: w, opts: opts, win: window{w: w}}
 	d.startSelection()
 	return d
+}
+
+// NewHysteresisDMTL builds the thrash-resistant D-MTL variant: the
+// paper's mechanism, but an IdleBound flip must persist for h+1
+// consecutive windows before it triggers re-selection.
+func NewHysteresisDMTL(model Model, w, h int) *Dynamic {
+	return NewDynamicOpts(model, w, DynamicOptions{Hysteresis: h})
 }
 
 // Name implements Throttler.
@@ -149,6 +174,8 @@ func (d *Dynamic) Name() string {
 		return "dynamic-linear"
 	case d.opts.NaiveRatioTrigger > 0:
 		return "dynamic-naive-trigger"
+	case d.opts.Hysteresis > 0:
+		return "dynamic-hyst"
 	default:
 		return "dynamic"
 	}
@@ -198,6 +225,19 @@ func (d *Dynamic) ForceConventional() {
 	d.History = append(d.History, d.model.N)
 }
 
+// Rearm lifts the conventional fallback and restarts MTL selection
+// from scratch — the recovery path the host watchdog takes once the
+// stall storm that forced degradation has passed and task timings can
+// be trusted again. A controller that was never degraded is untouched.
+func (d *Dynamic) Rearm() {
+	if !d.degraded {
+		return
+	}
+	d.degraded = false
+	d.guard.h.Rearms++
+	d.startSelection()
+}
+
 func (d *Dynamic) startSelection() {
 	if d.opts.LinearSearch {
 		d.sel = NewLinearSelector(d.model)
@@ -205,6 +245,7 @@ func (d *Dynamic) startSelection() {
 		d.sel = NewSelector(d.model)
 	}
 	d.watching = false
+	d.flips = 0
 	d.Selections++
 	k, done := d.sel.NextProbe()
 	if done {
@@ -231,7 +272,21 @@ func (d *Dynamic) OnPair(s PairSample) {
 		return
 	}
 	m := d.win.measurement()
+	start := d.win.start
 	d.win.reset()
+	d.Observe(WindowStats{Start: start, End: s.Now, Pairs: d.w, Tm: m.Tm, Tc: m.Tc})
+}
+
+// Observe implements Policy: the window-boundary decision core of the
+// mechanism, also reachable directly by plugin drivers that window the
+// pair stream themselves (e.g. composite policies layering a blacklist
+// over D-MTL). OnPair is now just per-sample guarding plus windowing
+// in front of this.
+func (d *Dynamic) Observe(w WindowStats) Decision {
+	if d.degraded {
+		return d.decision()
+	}
+	m := Measurement{Tm: w.Tm, Tc: w.Tc}
 	if !finitePositive(m.Tm) || !finitePositive(m.Tc) {
 		// Defensive: an unusable aggregate never reaches the selector.
 		// The window is discarded and the search state clamped back
@@ -240,7 +295,7 @@ func (d *Dynamic) OnPair(s PairSample) {
 		if !d.watching {
 			d.sel.Clamp()
 		}
-		return
+		return d.decision()
 	}
 
 	if d.watching {
@@ -253,15 +308,21 @@ func (d *Dynamic) OnPair(s PairSample) {
 			if moved {
 				d.startSelection()
 			}
-			return
+			return d.decision()
 		}
 		// Phase detection (§IV-B): trigger a new selection only when
-		// the idle behaviour (IdleBound) changes.
+		// the idle behaviour (IdleBound) changes — and, with hysteresis,
+		// only once the flip has persisted long enough to be trusted.
 		ib := d.model.IdleBound(m.Tm, m.Tc)
 		if ib != d.prevIdle {
-			d.startSelection()
+			d.flips++
+			if d.flips > d.opts.Hysteresis {
+				d.startSelection()
+			}
+		} else {
+			d.flips = 0
 		}
-		return
+		return d.decision()
 	}
 
 	// Selection in progress: this window measured the current probe.
@@ -269,7 +330,7 @@ func (d *Dynamic) OnPair(s PairSample) {
 	k, done := d.sel.NextProbe()
 	if !done {
 		d.mtl.Store(int32(k))
-		return
+		return d.decision()
 	}
 	dmtl, _ := d.sel.Decision()
 	d.TotalProbes += d.sel.Probes()
@@ -282,6 +343,12 @@ func (d *Dynamic) OnPair(s PairSample) {
 	}
 	d.prevIdle = d.model.IdleBound(ref.Tm, ref.Tc)
 	d.prevRatio = float64(ref.Tm) / float64(ref.Tc)
+	return d.decision()
+}
+
+// decision snapshots the current limit as a Decision.
+func (d *Dynamic) decision() Decision {
+	return Decision{Limit: int(d.mtl.Load()), Monitoring: !d.degraded}
 }
 
 func abs(x float64) float64 {
@@ -370,8 +437,16 @@ func (o *OnlineExhaustive) OnPair(s PairSample) {
 	if !o.win.add(s) {
 		return
 	}
-	span := o.win.span(s.Now)
+	m := o.win.measurement()
+	start := o.win.start
 	o.win.reset()
+	o.Observe(WindowStats{Start: start, End: s.Now, Pairs: o.w, Tm: m.Tm, Tc: m.Tc})
+}
+
+// Observe implements Policy: the baseline's window-boundary logic,
+// driven from the window's wall-clock span (End - Start).
+func (o *OnlineExhaustive) Observe(w WindowStats) Decision {
+	span := w.End - w.Start
 
 	if o.probing {
 		o.TotalProbes++
@@ -381,14 +456,14 @@ func (o *OnlineExhaustive) OnPair(s PairSample) {
 		if o.probeK < o.model.N {
 			o.probeK++
 			o.mtl.Store(int32(o.probeK))
-			return
+			return o.decision()
 		}
 		// Sweep finished: adopt the fastest group.
 		o.mtl.Store(int32(o.bestK))
 		o.probing = false
 		o.havePrev = false
 		o.History = append(o.History, o.bestK)
-		return
+		return o.decision()
 	}
 
 	if o.havePrev {
@@ -398,9 +473,15 @@ func (o *OnlineExhaustive) OnPair(s PairSample) {
 		}
 		if float64(num) > o.threshold*float64(o.prevSpan) {
 			o.startProbe()
-			return
+			return o.decision()
 		}
 	}
 	o.prevSpan = span
 	o.havePrev = true
+	return o.decision()
+}
+
+// decision snapshots the current limit as a Decision.
+func (o *OnlineExhaustive) decision() Decision {
+	return Decision{Limit: int(o.mtl.Load()), Monitoring: true}
 }

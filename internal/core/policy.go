@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// MaxClasses bounds the number of traffic classes a policy can track.
+// Class 0 is the default for all legacy single-tenant traffic; the
+// adversarial experiments use class 1 for the attacker stream. The
+// bound keeps per-window bookkeeping in fixed arrays so the Observe
+// hot path stays allocation-free.
+const MaxClasses = 8
+
+// Signal is an out-of-band runtime event fed to class-aware policies:
+// memory-task admissions (issue counts), watchdog stall flags, and
+// retry attempts from the fault-tolerant run path. Signals complement
+// the completion-driven PairSample stream — an attacker that wedges
+// tasks shows up in stalls and issues long before completions.
+type Signal int
+
+const (
+	// SignalIssue records one memory-task admission.
+	SignalIssue Signal = iota
+	// SignalStall records one watchdog-flagged stalled task.
+	SignalStall
+	// SignalRetry records one failed task attempt that was retried.
+	SignalRetry
+)
+
+// ClassStats aggregates one traffic class over one monitor window.
+type ClassStats struct {
+	Pairs   int  // completed pairs
+	Issues  int  // memory-task admissions
+	TmSum   Time // summed memory-task durations
+	TcSum   Time // summed compute-task durations
+	Stalls  int  // watchdog stall flags
+	Retries int  // retried task attempts
+}
+
+// WindowStats is what a Policy observes at each monitor-window
+// boundary: aggregate mean task durations plus per-class breakdowns
+// and the stall/retry guard-rail signals accumulated since the
+// previous window.
+type WindowStats struct {
+	Start Time // wall-clock when the window opened
+	End   Time // completion instant of the pair that closed it
+	Pairs int  // completed pairs in the window
+
+	// Tm and Tc are the mean per-pair memory and compute durations of
+	// the window, after any per-sample guarding by the caller.
+	Tm Time
+	Tc Time
+
+	Stalls  int // window-total watchdog stall flags
+	Retries int // window-total retried attempts
+
+	// Classes holds the per-class breakdown, indexed by class id. It
+	// aliases the caller's scratch storage and is only valid for the
+	// duration of the Observe call.
+	Classes []ClassStats
+}
+
+// Decision is a policy's verdict for the next window.
+type Decision struct {
+	// Limit is the aggregate memory-task limit to enforce. Zero or
+	// negative leaves the current limit unchanged.
+	Limit int
+	// ClassLimit holds per-class memory-task limits, indexed by class;
+	// a zero or negative entry (or a nil slice) means unlimited beyond
+	// the aggregate Limit. Like WindowStats.Classes it may alias the
+	// policy's scratch storage; callers must consume it before the
+	// next Observe.
+	ClassLimit []int
+	// Blacklist is a bitmask of demoted classes. A blacklisted class
+	// executes fully serialized (an effective per-class limit of 1)
+	// until a later decision clears the bit.
+	Blacklist uint64
+	// Monitoring reports whether pair instrumentation should stay on.
+	Monitoring bool
+}
+
+// Policy is the pluggable throttling-policy contract: observe one
+// monitor window's statistics, return the limits to enforce for the
+// next. Policies are pure controllers — windowing, per-sample
+// guarding, and atomic publication of limits belong to the driver
+// (the legacy controllers do it inline; PolicyThrottler does it for
+// plugin policies). Observe is externally serialized like every
+// Throttler mutator.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Observe consumes one window and returns the next decision.
+	Observe(w WindowStats) Decision
+}
+
+// ClassLimiter is implemented by throttlers that enforce per-class
+// limits on top of the aggregate MTL. Both methods are atomic reads,
+// safe from any goroutine, mirroring the Throttler.MTL contract.
+type ClassLimiter interface {
+	// ClassLimit reports the memory-task limit for class; 0 means
+	// unlimited beyond the aggregate MTL.
+	ClassLimit(class int) int
+	// Blacklisted reports whether class is currently demoted.
+	Blacklisted(class int) bool
+}
+
+// Observer is implemented by throttlers that consume out-of-band
+// runtime signals (issues, stalls, retries). OnSignal must be safe to
+// call concurrently with itself and with MTL readers: the host runtime
+// issues memory tasks from many workers at once.
+type Observer interface {
+	OnSignal(class int, sig Signal)
+}
+
+// PolicyThrottler adapts a Policy to the Throttler interface: it
+// windows the pair stream (W pairs per window, like the legacy
+// controllers), keeps per-class aggregates and signal counters, calls
+// Observe at each boundary, and publishes the decision behind atomics
+// so scheduler hot paths read limits lock-free. The zero-allocation
+// boundary is pinned by BenchmarkPolicyObserve.
+type PolicyThrottler struct {
+	p Policy
+	w int
+
+	mtl        atomic.Int32
+	monitoring bool
+	win        window
+	classes    [MaxClasses]ClassStats
+	scratch    [MaxClasses]ClassStats
+	maxClass   int
+
+	// Cumulative signal counters (concurrent writers) and the values
+	// harvested at the previous boundary.
+	issues  [MaxClasses]atomic.Int64
+	stalls  [MaxClasses]atomic.Int64
+	retries [MaxClasses]atomic.Int64
+	seen    [MaxClasses][3]int64
+
+	climit [MaxClasses]atomic.Int32
+	black  atomic.Uint64
+
+	// Windows counts observed windows; History records every aggregate
+	// limit change in decision order, mirroring Dynamic.History.
+	Windows int
+	History []int
+}
+
+// NewPolicyThrottler wraps p with window size w and an initial
+// aggregate limit. Panics on w < 1 or limit < 1.
+func NewPolicyThrottler(p Policy, w, limit int) *PolicyThrottler {
+	if w < 1 {
+		panic(fmt.Sprintf("core: NewPolicyThrottler with W = %d", w))
+	}
+	if limit < 1 {
+		panic(fmt.Sprintf("core: NewPolicyThrottler with limit = %d", limit))
+	}
+	t := &PolicyThrottler{p: p, w: w, monitoring: true, win: window{w: w}}
+	t.mtl.Store(int32(limit))
+	return t
+}
+
+// Name implements Throttler.
+func (t *PolicyThrottler) Name() string { return t.p.Name() }
+
+// MTL implements Throttler; a single atomic load.
+func (t *PolicyThrottler) MTL() int { return int(t.mtl.Load()) }
+
+// Monitoring implements Throttler.
+func (t *PolicyThrottler) Monitoring() bool { return t.monitoring }
+
+// Policy returns the wrapped policy for report introspection.
+func (t *PolicyThrottler) Policy() Policy { return t.p }
+
+// ClassLimit implements ClassLimiter. Blacklisted classes report a
+// limit of 1 — demotion to fully serialized execution.
+func (t *PolicyThrottler) ClassLimit(class int) int {
+	if class < 0 || class >= MaxClasses {
+		return 0
+	}
+	if t.black.Load()&(1<<uint(class)) != 0 {
+		return 1
+	}
+	return int(t.climit[class].Load())
+}
+
+// Blacklisted implements ClassLimiter.
+func (t *PolicyThrottler) Blacklisted(class int) bool {
+	if class < 0 || class >= MaxClasses {
+		return false
+	}
+	return t.black.Load()&(1<<uint(class)) != 0
+}
+
+// OnSignal implements Observer: lock-free counter bumps, harvested at
+// the next window boundary.
+func (t *PolicyThrottler) OnSignal(class int, sig Signal) {
+	if class < 0 || class >= MaxClasses {
+		class = 0
+	}
+	switch sig {
+	case SignalIssue:
+		t.issues[class].Add(1)
+	case SignalStall:
+		t.stalls[class].Add(1)
+	case SignalRetry:
+		t.retries[class].Add(1)
+	}
+}
+
+// OnPair implements Throttler: accumulate per-class, and at each
+// window boundary hand the policy a WindowStats snapshot and publish
+// its decision.
+func (t *PolicyThrottler) OnPair(s PairSample) {
+	c := s.Class
+	if c < 0 || c >= MaxClasses {
+		c = 0
+	}
+	if c >= t.maxClass {
+		t.maxClass = c + 1
+	}
+	cs := &t.classes[c]
+	cs.Pairs++
+	cs.TmSum += s.Tm
+	cs.TcSum += s.Tc
+	if !t.win.add(s) {
+		return
+	}
+	m := t.win.measurement()
+	start := t.win.start
+	t.win.reset()
+
+	ws := WindowStats{
+		Start:   start,
+		End:     s.Now,
+		Pairs:   t.w,
+		Tm:      m.Tm,
+		Tc:      m.Tc,
+		Classes: t.scratch[:t.maxClass],
+	}
+	for i := 0; i < t.maxClass; i++ {
+		cc := t.classes[i]
+		cc.Issues = int(t.issues[i].Load() - t.seen[i][0])
+		cc.Stalls = int(t.stalls[i].Load() - t.seen[i][1])
+		cc.Retries = int(t.retries[i].Load() - t.seen[i][2])
+		t.seen[i][0] += int64(cc.Issues)
+		t.seen[i][1] += int64(cc.Stalls)
+		t.seen[i][2] += int64(cc.Retries)
+		ws.Stalls += cc.Stalls
+		ws.Retries += cc.Retries
+		t.scratch[i] = cc
+		t.classes[i] = ClassStats{}
+	}
+
+	d := t.p.Observe(ws)
+	t.Windows++
+	t.apply(d)
+}
+
+// apply publishes one decision.
+func (t *PolicyThrottler) apply(d Decision) {
+	if d.Limit > 0 && d.Limit != int(t.mtl.Load()) {
+		t.mtl.Store(int32(d.Limit))
+		t.History = append(t.History, d.Limit)
+	}
+	for i := 0; i < MaxClasses; i++ {
+		lim := 0
+		if i < len(d.ClassLimit) && d.ClassLimit[i] > 0 {
+			lim = d.ClassLimit[i]
+		}
+		if int32(lim) != t.climit[i].Load() {
+			t.climit[i].Store(int32(lim))
+		}
+	}
+	t.black.Store(d.Blacklist)
+	t.monitoring = d.Monitoring
+}

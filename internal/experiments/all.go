@@ -49,6 +49,7 @@ func Catalog() []Spec {
 		{"P1", "§VIII future work: POWER7-style 32-thread scaling", tbl(Power7Scale)},
 		{"D1", "Sharded memory domains: per-domain MTL sweep over 1/2/4 domains", DomainScaling},
 		{"S1", "Open-loop serving: goodput, drops and latency percentiles vs offered load", ServeS1},
+		{"R2", "Attack robustness: victim p99/goodput/time-to-contain under flood and phase-flip attackers", RobustnessR2},
 	}
 }
 

@@ -1,0 +1,136 @@
+package simsched
+
+import (
+	"testing"
+
+	"memthrottle/internal/core"
+	"memthrottle/internal/workload"
+)
+
+func mixVictim(rate float64, jobs int, seed int64) Stream {
+	return Stream{
+		Class:    0,
+		Arrivals: workload.NewPoisson(rate, seed),
+		Shapes:   workload.NewSteady(256<<10, 2e-4),
+		Jobs:     jobs,
+	}
+}
+
+func mixFlood(rate float64, jobs int, seed int64) Stream {
+	return Stream{
+		Class:    1,
+		Arrivals: workload.NewPoisson(rate, seed),
+		Shapes:   workload.NewFlood(256<<10, 8, 5e-5),
+		Jobs:     jobs,
+	}
+}
+
+// TestMixRunDeterministic requires bit-identical results — per-class
+// counters, histograms, containment — for identically seeded runs.
+func TestMixRunDeterministic(t *testing.T) {
+	run := func() MixResult {
+		th := core.NewPolicyThrottler(
+			core.NewBlacklist(core.Fixed{K: 4}, core.BlacklistOptions{}), 32, 4)
+		return MixRun(serveCfg(3), MixSpec{
+			Streams: []Stream{mixVictim(3000, 1500, 17), mixFlood(2500, 800, 19)},
+			Queue:   64,
+		}, th)
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan || a.Goodput != b.Goodput || a.ContainedAt != b.ContainedAt {
+		t.Fatalf("timing differs across identical runs: %+v vs %+v", a, b)
+	}
+	if len(a.ByClass) != len(b.ByClass) {
+		t.Fatalf("class counts differ: %d vs %d", len(a.ByClass), len(b.ByClass))
+	}
+	for c := range a.ByClass {
+		x, y := a.ByClass[c], b.ByClass[c]
+		if x.Arrived != y.Arrived || x.Completed != y.Completed || x.Dropped != y.Dropped {
+			t.Fatalf("class %d counters differ: %+v vs %+v", c, x, y)
+		}
+		if x.Sojourn != y.Sojourn || x.Queue != y.Queue {
+			t.Fatalf("class %d histograms differ across identical runs", c)
+		}
+	}
+}
+
+// TestMixRunConservation checks per-class arrival accounting: every
+// arrival completes or drops, and the sojourn histogram holds exactly
+// the completed jobs.
+func TestMixRunConservation(t *testing.T) {
+	res := MixRun(serveCfg(5), MixSpec{
+		Streams: []Stream{mixVictim(4000, 2000, 23), mixFlood(3000, 1000, 29)},
+		Queue:   32,
+	}, core.Fixed{K: 2})
+	for c, oc := range res.ByClass {
+		if oc.Completed+oc.Dropped != oc.Arrived {
+			t.Errorf("class %d: completed %d + dropped %d != arrived %d",
+				c, oc.Completed, oc.Dropped, oc.Arrived)
+		}
+		if got := oc.Sojourn.Count(); got != uint64(oc.Completed) {
+			t.Errorf("class %d sojourn histogram holds %d samples, want %d", c, got, oc.Completed)
+		}
+	}
+	if res.ByClass[0].Arrived != 2000 || res.ByClass[1].Arrived != 1000 {
+		t.Errorf("arrivals = %d/%d, want 2000/1000",
+			res.ByClass[0].Arrived, res.ByClass[1].Arrived)
+	}
+}
+
+// TestMixRunContainsFlood is the end-to-end containment property: a
+// class-aware blacklist demotes the flooding class (ContainedAt set,
+// attacker drops at ingress) while the victim keeps completing; an
+// aggregate-only policy never contains anything.
+func TestMixRunContainsFlood(t *testing.T) {
+	spec := MixSpec{
+		Streams: []Stream{mixVictim(5000, 2500, 31), mixFlood(4000, 1200, 37)},
+		Queue:   64,
+	}
+	blind := MixRun(serveCfg(7), spec, core.Fixed{K: 4})
+	if blind.ContainedAt != 0 {
+		t.Fatalf("class-blind policy reported containment at %v", blind.ContainedAt)
+	}
+
+	spec = MixSpec{
+		Streams: []Stream{mixVictim(5000, 2500, 31), mixFlood(4000, 1200, 37)},
+		Queue:   64,
+	}
+	th := core.NewPolicyThrottler(
+		core.NewBlacklist(core.Fixed{K: 4}, core.BlacklistOptions{}), 32, 4)
+	aware := MixRun(serveCfg(7), spec, th)
+	if aware.ContainedAt == 0 {
+		t.Fatal("blacklist policy never contained the flood")
+	}
+	if aware.ByClass[1].Dropped == 0 {
+		t.Error("contained attacker was never shed at ingress")
+	}
+	if aware.ByClass[0].Completed <= blind.ByClass[0].Completed {
+		t.Errorf("containment did not help the victim: %d completions vs %d class-blind",
+			aware.ByClass[0].Completed, blind.ByClass[0].Completed)
+	}
+}
+
+// TestMixSpecValidation pins the spec panics.
+func TestMixSpecValidation(t *testing.T) {
+	good := func() MixSpec {
+		return MixSpec{Streams: []Stream{mixVictim(100, 10, 1)}}
+	}
+	for name, mut := range map[string]func(*MixSpec){
+		"no-streams":   func(s *MixSpec) { s.Streams = nil },
+		"bad-class":    func(s *MixSpec) { s.Streams[0].Class = core.MaxClasses },
+		"nil-arrivals": func(s *MixSpec) { s.Streams[0].Arrivals = nil },
+		"nil-shapes":   func(s *MixSpec) { s.Streams[0].Shapes = nil },
+		"zero-jobs":    func(s *MixSpec) { s.Streams[0].Jobs = 0 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := good()
+			mut(&s)
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic on invalid spec")
+				}
+			}()
+			MixRun(serveCfg(1), s, core.Fixed{K: 1})
+		})
+	}
+}

@@ -288,6 +288,8 @@ func decisions(th core.Throttler) []int {
 			return append([]int(nil), t.History...)
 		case *core.OnlineExhaustive:
 			return append([]int(nil), t.History...)
+		case *core.PolicyThrottler:
+			return append([]int(nil), t.History...)
 		default:
 			u, ok := th.(unwrapper)
 			if !ok {

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzLatencyHist drives Record, RecordSeconds, Merge and Quantile
+// with arbitrary (including hostile) inputs and pins the histogram's
+// safety contract: no input panics, counts stay exact, and quantiles
+// are monotone in q. Negative durations clamp to the zero bucket,
+// huge ones to the top bucket, and non-finite seconds convert to
+// whatever int64 the platform produces — all of which must land in a
+// valid bucket.
+func FuzzLatencyHist(f *testing.F) {
+	f.Add(int64(0), int64(-1), int64(1<<62), math.NaN(), 0.99)
+	f.Add(int64(31), int64(32), int64(33), math.Inf(1), 0.5)
+	f.Add(int64(-1<<63), int64(1<<63-1), int64(1e9), -1e300, -0.5)
+	f.Add(int64(1), int64(2), int64(3), 1e-9, 1.5)
+	f.Fuzz(func(t *testing.T, a, b, c int64, secs, q float64) {
+		var h, o LatencyHist
+		h.Record(time.Duration(a))
+		h.Record(time.Duration(b))
+		o.Record(time.Duration(c))
+		o.RecordSeconds(secs)
+
+		h.Merge(&o)
+		if h.Count() != 4 {
+			t.Fatalf("Count = %d after 4 records, want 4", h.Count())
+		}
+
+		// Quantile must tolerate any q, finite or not.
+		_ = h.Quantile(q)
+
+		prev := time.Duration(-1)
+		for _, g := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+			v := h.Quantile(g)
+			if v < 0 {
+				t.Fatalf("Quantile(%g) = %v, want >= 0", g, v)
+			}
+			if v < prev {
+				t.Fatalf("Quantile(%g) = %v below earlier quantile %v: not monotone", g, v, prev)
+			}
+			prev = v
+		}
+		if max := h.Max(); max < prev {
+			t.Fatalf("Max() = %v below Quantile(1) = %v", max, prev)
+		}
+
+		// Merge order must not matter: rebuilding with the operands
+		// swapped yields an identical histogram.
+		var x, y LatencyHist
+		y.Record(time.Duration(a))
+		y.Record(time.Duration(b))
+		x.Record(time.Duration(c))
+		x.RecordSeconds(secs)
+		x.Merge(&y)
+		if x != h {
+			t.Fatal("Merge is not commutative over identical sample multisets")
+		}
+	})
+}

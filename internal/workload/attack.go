@@ -1,0 +1,110 @@
+package workload
+
+import "fmt"
+
+// JobShape is one job of an open-loop stream: the gather footprint in
+// bytes and the solo compute duration in seconds. Shape generators are
+// deterministic and, like Arrivals, not safe for concurrent use.
+type JobShape struct {
+	Gather  float64 // bytes
+	Compute float64 // seconds
+}
+
+// Shapes generates the per-job shape sequence of a traffic stream.
+// simsched consumes it structurally (like Arrivals) to avoid an import
+// cycle, which is why NextShape returns builtins rather than JobShape.
+type Shapes interface {
+	// NextShape returns the next job's gather footprint (bytes) and
+	// solo compute duration (seconds).
+	NextShape() (gather, compute float64)
+	// Name identifies the generator in reports.
+	Name() string
+}
+
+// Steady emits a constant shape — the cooperative baseline stream.
+type Steady struct {
+	shape JobShape
+	name  string
+}
+
+// NewSteady returns a constant-shape stream. Panics on non-positive
+// gather or compute.
+func NewSteady(gather, compute float64) *Steady {
+	if gather <= 0 || compute <= 0 {
+		panic(fmt.Sprintf("workload: Steady(gather=%g, compute=%g), want > 0", gather, compute))
+	}
+	return &Steady{shape: JobShape{Gather: gather, Compute: compute}, name: "steady"}
+}
+
+// NextShape implements Shapes.
+func (s *Steady) NextShape() (float64, float64) { return s.shape.Gather, s.shape.Compute }
+
+// Name implements Shapes.
+func (s *Steady) Name() string { return s.name }
+
+// Flood is the slot-saturation attacker: every job carries a gather
+// footprint `hog` times the victim's with a negligible compute tail, so
+// each admitted attack job pins a memory slot for a long contended
+// gather and the stream, at rate, keeps every MTL slot occupied. An
+// aggregate-only controller responds by throttling *everyone*; a
+// class-aware blacklist demotes just the hog.
+type Flood struct {
+	shape JobShape
+}
+
+// NewFlood builds the flooding stream against a victim of the given
+// gather footprint: hog scales the footprint (hog >= 1), compute is
+// the token compute tail in seconds. Panics on out-of-range arguments.
+func NewFlood(victimGather float64, hog float64, compute float64) *Flood {
+	if victimGather <= 0 || hog < 1 || compute <= 0 {
+		panic(fmt.Sprintf("workload: Flood(victimGather=%g, hog=%g, compute=%g)", victimGather, hog, compute))
+	}
+	return &Flood{shape: JobShape{Gather: victimGather * hog, Compute: compute}}
+}
+
+// NextShape implements Shapes.
+func (f *Flood) NextShape() (float64, float64) { return f.shape.Gather, f.shape.Compute }
+
+// Name implements Shapes.
+func (f *Flood) Name() string { return "flood" }
+
+// PhaseFlip is the detector-thrash attacker: it alternates between a
+// memory-heavy and a compute-heavy job shape every `period` jobs.
+// Tuned to the controller's monitor window W, each window measures a
+// consistent phase that contradicts the previous one, so a naive
+// phase detector re-triggers selection every window and the controller
+// spends its life probing instead of enforcing — the failure mode the
+// hysteresis D-MTL variant resists.
+type PhaseFlip struct {
+	mem    JobShape
+	comp   JobShape
+	period int
+	n      int
+}
+
+// NewPhaseFlip builds the alternating attacker. mem is the
+// memory-heavy shape, comp the compute-heavy one, period the jobs per
+// phase (match the detector's W). Panics on non-positive shapes or
+// period.
+func NewPhaseFlip(mem, comp JobShape, period int) *PhaseFlip {
+	if mem.Gather <= 0 || mem.Compute <= 0 || comp.Gather <= 0 || comp.Compute <= 0 {
+		panic(fmt.Sprintf("workload: PhaseFlip shapes (%+v, %+v), want > 0", mem, comp))
+	}
+	if period < 1 {
+		panic(fmt.Sprintf("workload: PhaseFlip period = %d, want >= 1", period))
+	}
+	return &PhaseFlip{mem: mem, comp: comp, period: period}
+}
+
+// NextShape implements Shapes.
+func (p *PhaseFlip) NextShape() (float64, float64) {
+	s := p.mem
+	if (p.n/p.period)%2 == 1 {
+		s = p.comp
+	}
+	p.n++
+	return s.Gather, s.Compute
+}
+
+// Name implements Shapes.
+func (p *PhaseFlip) Name() string { return fmt.Sprintf("phase-flip(%d)", p.period) }

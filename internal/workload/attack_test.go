@@ -1,0 +1,86 @@
+package workload
+
+import "testing"
+
+// TestSteadyShape checks the constant stream and its validation.
+func TestSteadyShape(t *testing.T) {
+	s := NewSteady(1024, 2e-4)
+	for i := 0; i < 3; i++ {
+		g, c := s.NextShape()
+		if g != 1024 || c != 2e-4 {
+			t.Fatalf("NextShape = (%g, %g), want (1024, 2e-4)", g, c)
+		}
+	}
+	if s.Name() != "steady" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	for name, fn := range map[string]func(){
+		"zero-gather":  func() { NewSteady(0, 1) },
+		"zero-compute": func() { NewSteady(1, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestFloodShape checks the hog multiplier and the token compute tail.
+func TestFloodShape(t *testing.T) {
+	f := NewFlood(1024, 8, 1e-5)
+	g, c := f.NextShape()
+	if g != 8*1024 {
+		t.Errorf("flood gather = %g, want %g", g, 8.0*1024)
+	}
+	if c != 1e-5 {
+		t.Errorf("flood compute = %g, want 1e-5", c)
+	}
+	if f.Name() != "flood" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	for name, fn := range map[string]func(){
+		"hog-below-1":  func() { NewFlood(1024, 0.5, 1e-5) },
+		"zero-gather":  func() { NewFlood(0, 2, 1e-5) },
+		"zero-compute": func() { NewFlood(1024, 2, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestPhaseFlipAlternates checks the phase schedule: period jobs of the
+// memory shape, then period jobs of the compute shape, repeating.
+func TestPhaseFlipAlternates(t *testing.T) {
+	mem := JobShape{Gather: 4096, Compute: 1e-5}
+	comp := JobShape{Gather: 64, Compute: 1e-3}
+	p := NewPhaseFlip(mem, comp, 3)
+	for i := 0; i < 12; i++ {
+		g, c := p.NextShape()
+		want := mem
+		if (i/3)%2 == 1 {
+			want = comp
+		}
+		if g != want.Gather || c != want.Compute {
+			t.Fatalf("job %d shape = (%g, %g), want %+v", i, g, c, want)
+		}
+	}
+	if p.Name() != "phase-flip(3)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on period 0")
+		}
+	}()
+	NewPhaseFlip(mem, comp, 0)
+}
