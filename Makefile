@@ -28,6 +28,15 @@ HOST_BENCHES = BenchmarkHostRuntimeThroughput|BenchmarkHostRuntimeThroughput8|Be
 # amortisation win stays measured and neither path regresses.
 SERVE_BENCHES = BenchmarkHostServe64|BenchmarkHostServe128|BenchmarkHostServe256|BenchmarkHostServePerJob64|BenchmarkHostServePerJob128|BenchmarkHostServePerJob256|BenchmarkGateAdmitBatched|BenchmarkGateAdmitPerJob
 
+# Parallel-simulation benchmarks: the timing-wheel event queue against
+# the binary-heap engine at matched depths (EngineStep* in
+# internal/sim) and the window-parallel sharded-domain harness against
+# its serial twin (DomainSim* in internal/mem). Pinned in
+# BENCH_SIM.json so the wheel's O(1) step and the lookahead-window
+# speedup stay measured.
+SIM_BENCHES  = BenchmarkEngineStep|BenchmarkEngineStepWheel|BenchmarkEngineStepDeep256|BenchmarkEngineStepWheelDeep256
+SIM_PAR_BENCHES = BenchmarkDomainSimSerial2|BenchmarkDomainSimSerial4|BenchmarkDomainSimParallel2|BenchmarkDomainSimParallel4
+
 # Policy-plugin benchmarks: the PolicyThrottler window boundary —
 # per-class aggregation, signal harvest, Observe, decision publish —
 # must stay allocation-free, or every W pairs the scheduler hot path
@@ -37,9 +46,9 @@ CORE_BENCHES = BenchmarkPolicyObserve
 # Benchmarks pinned allocation-free by `make bench-check`: the
 # zero-allocation hot paths from the PR 2 work must never regrow an
 # alloc, the warm Calibrator's adjacent re-measure joins them, and the
-# serving-path admission primitives and the policy-plugin window
-# boundary stay allocation-free too.
-ZERO_ALLOC   = BenchmarkEngineStep,BenchmarkDRAMAccess,BenchmarkStreamPump,BenchmarkGateAdmitBatched,BenchmarkGateAdmitPerJob,BenchmarkPolicyObserve
+# serving-path admission primitives, the policy-plugin window boundary
+# and the timing-wheel engine step stay allocation-free too.
+ZERO_ALLOC   = BenchmarkEngineStep,BenchmarkEngineStepWheel,BenchmarkDRAMAccess,BenchmarkStreamPump,BenchmarkGateAdmitBatched,BenchmarkGateAdmitPerJob,BenchmarkPolicyObserve
 
 .PHONY: check lint fmt vet build test race bench bench-host bench-baseline bench-check
 
@@ -74,16 +83,22 @@ test:
 # RobustnessR2 joins the race pass as the adversarial stress: it fans
 # the 15-cell attack grid across 4 workers through parallel.Map while
 # each cell drives the class-aware PolicyThrottler (atomic limit and
-# blacklist publication against concurrent readers).
+# blacklist publication against concurrent readers). The parallel-sim
+# suites run here too: the window-group barrier protocol (TestGroup*),
+# the sharded-domain harness identity (TestDomainSim*) and the SimPar
+# serial-equality properties all drive per-domain engines on concurrent
+# goroutines with cross-engine posts.
 race:
 	$(GO) test -race ./host/... ./internal/parallel/...
 	$(GO) test -race -run 'DiskCache|Cached|RobustnessR2' ./internal/experiments
+	$(GO) test -race -run 'TestGroup|TestWheel|TestDomainSim|TestSimPar' ./internal/sim ./internal/mem ./internal/simsched
 
 # bench runs the simulator hot-path benchmarks and reports deltas
 # against the committed baseline. bench-baseline rewrites the baseline
 # from a fresh run (do this only when intentionally re-pinning).
 bench:
-	@{ $(GO) test -run '^$$' -bench '^BenchmarkEngineStep$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
+	@{ $(GO) test -run '^$$' -bench '^($(SIM_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
+	   $(GO) test -run '^$$' -bench '^($(SIM_PAR_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/mem; \
 	   $(GO) test -run '^$$' -bench '^($(CORE_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/core; \
 	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
 	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \
@@ -96,7 +111,8 @@ bench-host:
 	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json
 
 bench-baseline:
-	@{ $(GO) test -run '^$$' -bench '^BenchmarkEngineStep$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
+	@{ $(GO) test -run '^$$' -bench '^($(SIM_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
+	   $(GO) test -run '^$$' -bench '^($(SIM_PAR_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/mem; \
 	   $(GO) test -run '^$$' -bench '^($(CORE_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/core; \
 	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
 	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \
@@ -107,7 +123,8 @@ bench-baseline:
 # committed baseline or on any allocation in the pinned zero-alloc
 # benchmarks.
 bench-check:
-	@{ $(GO) test -run '^$$' -bench '^BenchmarkEngineStep$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
+	@{ $(GO) test -run '^$$' -bench '^($(SIM_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
+	   $(GO) test -run '^$$' -bench '^($(SIM_PAR_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/mem; \
 	   $(GO) test -run '^$$' -bench '^($(CORE_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/core; \
 	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
 	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \

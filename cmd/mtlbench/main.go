@@ -66,12 +66,14 @@ func run() error {
 		cacheDir   = flag.String("cache-dir", "", "persist results (calibrations, baselines, finished experiments) in this directory")
 		noCache    = flag.Bool("no-cache", false, "ignore -cache-dir: compute everything, write nothing")
 		warmCal    = flag.Bool("warmcal", false, "calibrate through the warm-start calibrator (bit-identical, one reused engine per DRAM config)")
+		simPar     = flag.Bool("simpar", false, "shard multi-domain simulations across per-domain engines (bit-identical; composes with -j)")
 		adaptive   = flag.Bool("adaptive", false, "run Fig. 13 sweeps in coarse-to-fine D-MTL mode (fast preview; not golden output)")
 		timings    = flag.String("timings", "", "write a per-experiment wall-clock snapshot to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file")
 		mtxprofile = flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
 		blkprofile = flag.String("blockprofile", "", "write a pprof blocking profile to this file")
+		exectrace  = flag.String("exectrace", "", "write a runtime/trace execution trace to this file (view with go tool trace)")
 	)
 	flag.Parse()
 	if err := jobsFlagError(*jobs); err != nil {
@@ -100,6 +102,7 @@ func run() error {
 		Mem:   *memprofile,
 		Mutex: *mtxprofile,
 		Block: *blkprofile,
+		Trace: *exectrace,
 	})
 	if err != nil {
 		return err
@@ -121,7 +124,7 @@ func run() error {
 	// The cache directory is validated before any simulation so an
 	// unusable path (exists but is a file, not writable, ...) fails in
 	// milliseconds with a clear message, not after calibration.
-	opt := experiments.Options{WarmCal: *warmCal}
+	opt := experiments.Options{WarmCal: *warmCal, SimPar: *simPar}
 	if *cacheDir != "" && !*noCache {
 		cache, err := experiments.OpenDiskCache(*cacheDir)
 		if err != nil {

@@ -50,6 +50,8 @@ func run() error {
 		cores      = flag.Int("cores", 4, "physical cores")
 		smt        = flag.Int("smt", 1, "hardware threads per core")
 		channels   = flag.Int("channels", 1, "memory channels")
+		domains    = flag.Int("domains", 1, "independent memory domains (replicated DIMMs, round-robin homing)")
+		simPar     = flag.Bool("simpar", false, "shard the simulation across per-domain engines (bit-identical; needs -domains > 1 to engage)")
 		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart")
 		seed       = flag.Int64("seed", 1, "noise seed")
 		jobs       = flag.Int("j", 0, "worker goroutines for independent runs (default: GOMAXPROCS)")
@@ -57,6 +59,7 @@ func run() error {
 		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file")
 		mtxprofile = flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
 		blkprofile = flag.String("blockprofile", "", "write a pprof blocking profile to this file")
+		exectrace  = flag.String("exectrace", "", "write a runtime/trace execution trace to this file (view with go tool trace)")
 	)
 	flag.Parse()
 	if err := jobsFlagError(*jobs); err != nil {
@@ -68,6 +71,7 @@ func run() error {
 		Mem:   *memprofile,
 		Mutex: *mtxprofile,
 		Block: *blkprofile,
+		Trace: *exectrace,
 	})
 	if err != nil {
 		return err
@@ -79,11 +83,18 @@ func run() error {
 	}()
 
 	parallel.SetDefault(*jobs)
-	cal, err := mem.CalibrateCached(mem.DDR3_1066().WithChannels(*channels), *cores**smt, 6, workload.Footprint)
+	if *domains < 1 || *domains > simsched.MaxMemDomains {
+		return fmt.Errorf("-domains %d: want within [1, %d]", *domains, simsched.MaxMemDomains)
+	}
+	// With -domains > 1 each domain is a replica DIMM with decorrelated
+	// jitter; the replicas calibrate concurrently (each owns a private
+	// simulation) and domain 0 doubles as the workload-shaping law.
+	set := mem.Replicate(mem.DDR3_1066().WithChannels(*channels), *domains)
+	cals, err := set.Calibrate(*cores**smt, 6, workload.Footprint)
 	if err != nil {
 		return err
 	}
-	params := contend.FromCalibration(cal)
+	params := contend.FromCalibration(cals[0])
 	lib := workload.NewLibrary(params)
 
 	var prog *stream.Program
@@ -105,6 +116,13 @@ func run() error {
 	cfg.NoiseSigma = 0.003
 	cfg.Seed = *seed
 	cfg.RecordTrace = *gantt
+	cfg.SimPar = *simPar
+	if *domains > 1 {
+		cfg.Machine.MemDomains = *domains
+		for d := 0; d < *domains; d++ {
+			cfg.DomainMem[d] = contend.FromCalibration(cals[d])
+		}
+	}
 	n := cfg.Machine.HardwareThreads()
 
 	var policyErr error
@@ -141,7 +159,7 @@ func run() error {
 	res, base := runs[0], runs[1]
 
 	fmt.Printf("workload : %s (%d pairs, %d phases)\n", prog.Name, prog.TotalPairs(), len(prog.Phases))
-	fmt.Printf("machine  : %d cores x %d SMT, %d channel(s)\n", *cores, *smt, *channels)
+	fmt.Printf("machine  : %d cores x %d SMT, %d channel(s), %d domain(s)\n", *cores, *smt, *channels, *domains)
 	fmt.Printf("policy   : %s\n", res.Policy)
 	fmt.Printf("time     : %v  (conventional: %v, speedup %.3fx)\n",
 		res.TotalTime, base.TotalTime, float64(base.TotalTime)/float64(res.TotalTime))

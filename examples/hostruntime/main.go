@@ -89,6 +89,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
 	mtxprofile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
 	blkprofile := flag.String("blockprofile", "", "write a pprof blocking profile to this file")
+	exectrace := flag.String("exectrace", "", "write a runtime/trace execution trace to this file (view with go tool trace)")
 	flag.Parse()
 
 	session, err := prof.StartAll(prof.Profiles{
@@ -96,6 +97,7 @@ func main() {
 		Mem:   *memprofile,
 		Mutex: *mtxprofile,
 		Block: *blkprofile,
+		Trace: *exectrace,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -66,14 +66,25 @@ func DomainSweep(e Env, counts []int, ratios []float64, pairs int) ([]DomainPoin
 	// calibration is served from the environment's cache; the replicas
 	// differ only in jitter seed and cost one sweep each, once per
 	// process (and once per cache directory with a disk cache).
+	// Each replica owns a private simulation, so the calibrations fan
+	// out across the worker budget like mem.DomainSet.Calibrate does;
+	// results are assembled in domain order and the process-wide cache
+	// deduplicates anything a previous caller measured.
 	set := mem.Replicate(e.DRAM1, maxD)
+	type calOutcome struct {
+		cal mem.Calibration
+		err error
+	}
+	measured := parallel.Map(e.jobs(), maxD, func(d int) calOutcome {
+		cal, err := e.calibrate(set.Configs[d], 8, 6, workload.Footprint)
+		return calOutcome{cal, err}
+	})
 	params := make([]contend.Params, maxD)
-	for d, dcfg := range set.Configs {
-		cal, err := e.calibrate(dcfg, 8, 6, workload.Footprint)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: domain %d calibration: %w", d, err)
+	for d, o := range measured {
+		if o.err != nil {
+			return nil, fmt.Errorf("experiments: domain %d calibration: %w", d, o.err)
 		}
-		params[d] = contend.FromCalibration(cal)
+		params[d] = contend.FromCalibration(o.cal)
 	}
 
 	lib := e.Lib()

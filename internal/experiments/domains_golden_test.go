@@ -50,6 +50,36 @@ func TestDomainSweepMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestDomainSweepMatchesGoldenSimPar re-renders the 2-domain golden
+// with the sharded parallel simulation on — the configuration where
+// SimPar actually engages (per-domain engines under a merge-mode
+// group). It must match the committed golden byte for byte.
+func TestDomainSweepMatchesGoldenSimPar(t *testing.T) {
+	if *update {
+		t.Skip("goldens are updated by the plain variant only")
+	}
+	e, err := NewEnv(true, Options{SimPar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := domainGolden(t, e.WithWorkers(4))
+	for _, f := range []struct{ format, ext string }{{"text", "txt"}, {"json", "json"}} {
+		got, err := tab.Render(f.format)
+		if err != nil {
+			t.Fatalf("render %s: %v", f.format, err)
+		}
+		path := filepath.Join("testdata", "golden", "D1-2dom."+f.ext)
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden (run the plain variant with -update to create): %v", err)
+		}
+		if got != string(want) {
+			t.Errorf("simpar %s output drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+				f.format, path, got, want)
+		}
+	}
+}
+
 // TestDomainSweepDeterministicAcrossWorkers re-runs the 2-domain sweep
 // serially and with a 4-way fan-out: the rendered tables must be
 // byte-identical. Per-domain pools and the admissibility scan in the

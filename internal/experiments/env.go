@@ -55,9 +55,11 @@ type Env struct {
 
 	// disk is the optional persistent result cache; nil keeps the
 	// environment memory-only. warmCal selects the warm-start
-	// calibrator for DRAM calibration.
+	// calibrator for DRAM calibration. simPar turns on the sharded
+	// parallel simulation in every config the environment hands out.
 	disk    *DiskCache
 	warmCal bool
+	simPar  bool
 }
 
 // Options selects optional acceleration layers for an environment.
@@ -70,6 +72,11 @@ type Options struct {
 	// Cache persists calibrations, baselines and whole experiment
 	// tables across processes. nil disables persistence.
 	Cache *DiskCache
+	// SimPar runs multi-domain simulations sharded across per-domain
+	// engines coordinated by a merge-mode sim.Group (simsched.Config's
+	// SimPar knob). Results are byte-identical to the single-engine
+	// path; single-domain configs degenerate to it.
+	SimPar bool
 }
 
 // WithWorkers returns a copy of the environment with the given
@@ -117,6 +124,7 @@ func NewEnv(quick bool, opt Options) (Env, error) {
 	e.memo = newBaselineMemo()
 	e.disk = opt.Cache
 	e.warmCal = opt.WarmCal
+	e.simPar = opt.SimPar
 	// Calibration is deterministic per DRAM config, so it is cached
 	// process-wide: every test, benchmark and CLI entry point pays
 	// for each configuration at most once. With a disk cache attached
@@ -144,6 +152,7 @@ func (e Env) Lib() workload.Library { return workload.NewLibrary(e.Mem1) }
 func (e Env) Cfg() simsched.Config {
 	c := simsched.Default(e.Mem1)
 	c.NoiseSigma = e.NoiseSigma
+	c.SimPar = e.simPar
 	return c
 }
 
@@ -151,6 +160,7 @@ func (e Env) Cfg() simsched.Config {
 func (e Env) Cfg2(smt bool) simsched.Config {
 	c := simsched.Default(e.Mem2)
 	c.NoiseSigma = e.NoiseSigma
+	c.SimPar = e.simPar
 	if smt {
 		c.Machine = machine.I7860().WithSMT(2)
 	}

@@ -38,7 +38,7 @@ func TestDefaultEnvCalibration(t *testing.T) {
 
 func TestCatalogComplete(t *testing.T) {
 	want := []string{"C1", "T2", "T3", "F13a", "F13b", "F13c", "F14", "F15",
-		"F16", "F17", "F18", "X1", "X2", "A1", "A2", "A3", "N1", "R1", "P1", "D1", "S1", "R2"}
+		"F16", "F17", "F18", "X1", "X2", "A1", "A2", "A3", "N1", "R1", "P1", "D1", "D1H", "S1", "R2"}
 	got := Catalog()
 	if len(got) != len(want) {
 		t.Fatalf("catalog has %d entries, want %d", len(got), len(want))

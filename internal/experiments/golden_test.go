@@ -44,6 +44,7 @@ func TestFigureOutputsMatchGoldenAccelerated(t *testing.T) {
 		opt  Options
 	}{
 		{"warmcal", Options{WarmCal: true}},
+		{"simpar", Options{SimPar: true}},
 		{"disk-cold", Options{Cache: cache}},
 		{"disk-warm", Options{Cache: cache}}, // second pass: pure hits
 	} {

@@ -7,7 +7,6 @@ import (
 	"memthrottle/internal/machine"
 	"memthrottle/internal/mem"
 	"memthrottle/internal/parallel"
-	"memthrottle/internal/simsched"
 	"memthrottle/internal/workload"
 )
 
@@ -24,8 +23,7 @@ func Power7Scale(e Env) Table {
 		Columns: []string{"workload", "dynamic speedup", "dynamic D-MTL",
 			"probe windows", "best sampled static", "static MTL"},
 	}
-	cfg := simsched.Default(e.Mem2)
-	cfg.NoiseSigma = e.NoiseSigma
+	cfg := e.Cfg2(false)
 	cfg.Machine = machine.Config{Cores: 8, SMTWays: 4}
 	model := Model(cfg)
 	n := cfg.Machine.HardwareThreads()

@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"memthrottle/internal/parallel"
+)
 
 // DomainSet is a machine's sharded memory system: one independent
 // DRAM configuration per memory domain. It is the simulated analogue
@@ -47,18 +51,29 @@ func (ds DomainSet) Validate() error {
 // Calibrate fits every domain's contention law independently through
 // the process-wide calibration cache (each domain's Config is its own
 // cache key, so a replicated domain set re-measures nothing a previous
-// caller already has).
+// caller already has). Domains calibrate concurrently across the
+// process's parallel worker budget — each owns a private simulation, so
+// the fan-out changes wall-clock only; results are assembled in domain
+// order and the singleflight cache deduplicates concurrent requests for
+// identical configurations.
 func (ds DomainSet) Calibrate(maxK, tasksPerStream, footprint int) ([]Calibration, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
+	type outcome struct {
+		cal Calibration
+		err error
+	}
+	measured := parallel.Map(0, len(ds.Configs), func(d int) outcome {
+		cal, err := CalibrateCached(ds.Configs[d], maxK, tasksPerStream, footprint)
+		return outcome{cal, err}
+	})
 	cals := make([]Calibration, len(ds.Configs))
-	for d, cfg := range ds.Configs {
-		cal, err := CalibrateCached(cfg, maxK, tasksPerStream, footprint)
-		if err != nil {
-			return nil, fmt.Errorf("mem: calibrating domain %d: %w", d, err)
+	for d, o := range measured {
+		if o.err != nil {
+			return nil, fmt.Errorf("mem: calibrating domain %d: %w", d, o.err)
 		}
-		cals[d] = cal
+		cals[d] = o.cal
 	}
 	return cals, nil
 }

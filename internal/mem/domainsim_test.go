@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"testing"
+
+	"memthrottle/internal/sim"
+)
+
+// simSpec is the identity-test workload: small enough to run in
+// milliseconds, busy enough that every domain serves interleaved
+// chains from every other domain.
+func simSpec(par bool) DomainSimSpec {
+	return DomainSimSpec{
+		Chains:    3,
+		Tasks:     8,
+		Footprint: 16 << 10,
+		Dispatch:  2 * sim.Microsecond,
+		Parallel:  par,
+	}
+}
+
+// TestDomainSimParallelMatchesSerial pins the harness's whole
+// correctness contract: the window-parallel run must produce exactly
+// the serial run's per-domain completion traces, for every domain
+// count the config layer supports.
+func TestDomainSimParallelMatchesSerial(t *testing.T) {
+	for _, nd := range []int{1, 2, 3, 4} {
+		ds := Replicate(DDR3_1066(), nd)
+		serial, err := ds.Simulate(simSpec(false))
+		if err != nil {
+			t.Fatalf("%d domains serial: %v", nd, err)
+		}
+		par, err := ds.Simulate(simSpec(true))
+		if err != nil {
+			t.Fatalf("%d domains parallel: %v", nd, err)
+		}
+		if serial.Final != par.Final {
+			t.Errorf("%d domains: final time serial %v, parallel %v", nd, serial.Final, par.Final)
+		}
+		for d := range serial.Completions {
+			a, b := serial.Completions[d], par.Completions[d]
+			if len(a) != len(b) {
+				t.Fatalf("%d domains: domain %d completed %d tasks serially, %d in parallel", nd, d, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%d domains: domain %d completion %d at %v serially, %v in parallel", nd, d, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDomainSimConservation checks every chain runs its full task
+// budget and completions land in nondecreasing order per domain.
+func TestDomainSimConservation(t *testing.T) {
+	ds := Replicate(DDR3_1066(), 3)
+	spec := simSpec(true)
+	res, err := ds.Simulate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for d, comp := range res.Completions {
+		total += len(comp)
+		for i := 1; i < len(comp); i++ {
+			if comp[i] < comp[i-1] {
+				t.Fatalf("domain %d completions regress at %d: %v after %v", d, i, comp[i], comp[i-1])
+			}
+		}
+	}
+	if want := 3 * spec.Chains * spec.Tasks; total != want {
+		t.Fatalf("completed %d tasks, want %d", total, want)
+	}
+	if res.Final <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+// TestDomainSimSpecValidation exercises the error paths.
+func TestDomainSimSpecValidation(t *testing.T) {
+	ds := TwoDIMM()
+	bad := []DomainSimSpec{
+		{Chains: 0, Tasks: 1, Footprint: 1 << 10, Dispatch: sim.Microsecond},
+		{Chains: 1, Tasks: 0, Footprint: 1 << 10, Dispatch: sim.Microsecond},
+		{Chains: 1, Tasks: 1, Footprint: 0, Dispatch: sim.Microsecond},
+		{Chains: 1, Tasks: 1, Footprint: 1 << 10, Dispatch: 0},
+		{Chains: 1, Tasks: 1, Footprint: 16, Dispatch: sim.Microsecond}, // under one line
+	}
+	for i, spec := range bad {
+		if _, err := ds.Simulate(spec); err == nil {
+			t.Errorf("spec %d: invalid spec accepted", i)
+		}
+	}
+}
+
+// benchDomainSim measures one full sharded simulation per iteration —
+// the wall-clock contrast between the serial engine and the
+// window-parallel group on the same model.
+func benchDomainSim(b *testing.B, domains int, par bool) {
+	ds := Replicate(DDR3_1066(), domains)
+	spec := DomainSimSpec{
+		Chains:    4,
+		Tasks:     64,
+		Footprint: 64 << 10,
+		Dispatch:  2 * sim.Microsecond,
+		Parallel:  par,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Simulate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDomainSimSerial2(b *testing.B)   { benchDomainSim(b, 2, false) }
+func BenchmarkDomainSimSerial4(b *testing.B)   { benchDomainSim(b, 4, false) }
+func BenchmarkDomainSimParallel2(b *testing.B) { benchDomainSim(b, 2, true) }
+func BenchmarkDomainSimParallel4(b *testing.B) { benchDomainSim(b, 4, true) }

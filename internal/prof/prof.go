@@ -1,5 +1,6 @@
-// Package prof wires pprof CPU, heap, mutex and block profiling into
-// the CLIs. It exists so every command handles profiles identically:
+// Package prof wires pprof CPU, heap, mutex and block profiling plus
+// runtime/trace execution traces into the CLIs. It exists so every
+// command handles profiles identically:
 // paths are opened (and thus validated) before any simulation work
 // starts, and Stop flushes every profile on every exit path —
 // including error returns — as long as the caller defers it.
@@ -10,22 +11,25 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 )
 
 // Profiles names the capture paths for one session; empty fields are
-// skipped. CPU streams for the whole session; Mem, Mutex and Block are
-// snapshotted at Stop time, when the picture is complete.
+// skipped. CPU and Trace stream for the whole session; Mem, Mutex and
+// Block are snapshotted at Stop time, when the picture is complete.
 type Profiles struct {
 	CPU   string
 	Mem   string
 	Mutex string // sync contention (runtime.SetMutexProfileFraction)
 	Block string // blocking events (runtime.SetBlockProfileRate)
+	Trace string // runtime/trace execution trace (`go tool trace`)
 }
 
 // Session is a running profile capture. The zero value (from Start
 // with empty paths) is a valid no-op.
 type Session struct {
 	cpuFile   *os.File
+	traceFile *os.File
 	memPath   string
 	mutexPath string
 	blockPath string
@@ -73,6 +77,22 @@ func StartAll(p Profiles) (*Session, error) {
 		}
 		s.cpuFile = f
 	}
+	if p.Trace != "" {
+		f, err := os.Create(p.Trace)
+		if err == nil {
+			if err = trace.Start(f); err != nil {
+				f.Close()
+			}
+		}
+		if err != nil {
+			if s.cpuFile != nil { // tear down the running capture
+				pprof.StopCPUProfile()
+				s.cpuFile.Close()
+			}
+			return nil, fmt.Errorf("prof: start execution trace: %w", err)
+		}
+		s.traceFile = f
+	}
 	if p.Mutex != "" {
 		s.prevMutexFraction = runtime.SetMutexProfileFraction(1)
 	}
@@ -102,6 +122,13 @@ func (s *Session) Stop() error {
 			keep(fmt.Errorf("prof: close cpu profile: %w", err))
 		}
 		s.cpuFile = nil
+	}
+	if s.traceFile != nil {
+		trace.Stop() // flushes buffered events to the file
+		if err := s.traceFile.Close(); err != nil {
+			keep(fmt.Errorf("prof: close execution trace: %w", err))
+		}
+		s.traceFile = nil
 	}
 	if s.memPath != "" {
 		runtime.GC() // materialize the final live-heap picture

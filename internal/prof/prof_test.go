@@ -133,3 +133,48 @@ func TestStartAllFailsFastOnUnwritableContentionPath(t *testing.T) {
 		t.Errorf("mutex sampler left on after failed Start: %d", got)
 	}
 }
+
+func TestStartAllWritesExecutionTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.out")
+	s, err := StartAll(Profiles{Trace: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A goroutine hop gives the tracer scheduling events to record.
+	done := make(chan struct{})
+	go close(done)
+	<-done
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil { // idempotent
+		t.Fatalf("second Stop: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("trace missing: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Errorf("%s is empty", path)
+	}
+}
+
+func TestStartAllFailsFastOnUnwritableTracePath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "trace.out")
+	if _, err := StartAll(Profiles{Trace: bad}); err == nil {
+		t.Fatal("unwritable trace path did not fail")
+	}
+	// A bad trace path must tear down the already-running CPU capture
+	// so a later Start can succeed.
+	cpu := filepath.Join(t.TempDir(), "cpu.out")
+	if _, err := StartAll(Profiles{CPU: cpu, Trace: bad}); err == nil {
+		t.Fatal("bad trace path with good cpu path did not fail")
+	}
+	s, err := StartAll(Profiles{CPU: cpu})
+	if err != nil {
+		t.Fatalf("cpu capture not released after failed Start: %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -67,7 +67,15 @@ type Event struct {
 	afn func(any)
 	arg any
 
-	index  int // heap index; -1 once removed
+	index int // heap index, or position in a wheel's current bucket; -1 once removed
+
+	// next/prev chain the event into a timing-wheel slot list; loc says
+	// which structure currently holds the event (a wheel slot code, or
+	// one of the loc* constants). Heap-backed engines only ever use
+	// locHeap/locNone.
+	next, prev *Event
+	loc        int32
+
 	dead   bool
 	engine *Engine
 }
@@ -78,12 +86,24 @@ func (e *Event) Due() Time { return e.due }
 // Cancel removes the event from the queue. Cancelling an event that
 // already fired or was already cancelled is a no-op.
 func (e *Event) Cancel() {
-	if e == nil || e.dead || e.index < 0 {
+	if e == nil || e.dead || e.loc == locNone {
 		return
 	}
-	e.engine.queue.remove(e.index)
+	eng := e.engine
+	switch e.loc {
+	case locHeap:
+		if eng.wheel != nil {
+			eng.wheel.over.remove(e.index)
+		} else {
+			eng.queue.remove(e.index)
+		}
+	case locCur:
+		eng.wheel.removeCur(e)
+	default:
+		eng.wheel.unlink(e)
+	}
 	e.dead = true
-	e.engine.recycle(e)
+	eng.recycle(e)
 }
 
 // eventQueue is an indexed 4-ary min-heap ordered by (due, seq). The
@@ -105,6 +125,7 @@ func before(a, b *Event) bool {
 func (q *eventQueue) len() int { return len(q.ev) }
 
 func (q *eventQueue) push(e *Event) {
+	e.loc = locHeap
 	e.index = len(q.ev)
 	q.ev = append(q.ev, e)
 	q.siftUp(e.index)
@@ -122,6 +143,7 @@ func (q *eventQueue) pop() *Event {
 		q.siftDown(0)
 	}
 	root.index = -1
+	root.loc = locNone
 	return root
 }
 
@@ -139,6 +161,7 @@ func (q *eventQueue) remove(i int) {
 		q.siftUp(i)
 	}
 	removed.index = -1
+	removed.loc = locNone
 }
 
 func (q *eventQueue) siftUp(i int) {
@@ -188,12 +211,26 @@ func (q *eventQueue) siftDown(i int) {
 	e.index = i
 }
 
-// Engine is a discrete-event simulator. The zero value is ready to use.
+// Engine is a discrete-event simulator. The zero value is ready to use
+// and is heap-backed; NewWheel builds a timing-wheel-backed engine with
+// identical semantics.
 type Engine struct {
 	now     Time
 	seq     uint64
 	queue   eventQueue
 	stopped bool
+
+	// wheel, when non-nil, replaces queue as the event store. Both
+	// orderings are identical — (due, seq) — so the two backends are
+	// observationally equivalent; the wheel trades the heap's O(log n)
+	// sifts for O(1) bucket operations on the short-latency traffic
+	// that dominates DRAM simulation.
+	wheel *timingWheel
+
+	// gseq, when set by a Group, replaces the engine-local sequence
+	// counter so events allocated across the group's engines are
+	// numbered exactly as a single engine would number them.
+	gseq *uint64
 
 	// free recycles fired/cancelled events: the simulation hot path
 	// schedules and retires millions of events per run, and reusing
@@ -203,6 +240,16 @@ type Engine struct {
 
 // New returns a fresh engine with the clock at zero.
 func New() *Engine { return &Engine{} }
+
+// NewWheel returns a fresh engine whose event queue is the hierarchical
+// timing wheel (see wheel.go) with the default 64 ns tick. Ordering and
+// determinism are identical to New; only the complexity profile differs.
+func NewWheel() *Engine { return NewWheelTick(DefaultWheelTick) }
+
+// NewWheelTick is NewWheel with an explicit level-0 bucket width.
+func NewWheelTick(tick Time) *Engine {
+	return &Engine{wheel: newTimingWheel(tick)}
+}
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -233,10 +280,49 @@ func (e *Engine) alloc(t Time) *Event {
 		ev = &Event{}
 	}
 	ev.due = t
-	ev.seq = e.seq
 	ev.engine = e
-	e.seq++
+	if e.gseq != nil {
+		ev.seq = *e.gseq
+		*e.gseq++
+	} else {
+		ev.seq = e.seq
+		e.seq++
+	}
 	return ev
+}
+
+// schedule routes a freshly allocated event into whichever queue
+// backend this engine uses.
+func (e *Engine) schedule(ev *Event) {
+	if e.wheel != nil {
+		e.wheel.insert(ev)
+	} else {
+		e.queue.push(ev)
+	}
+}
+
+// peekNext returns the next event to fire without consuming it, or nil
+// when the engine is idle. On a wheel engine this may rotate buckets
+// forward, but never changes what fires or in what order.
+func (e *Engine) peekNext() *Event {
+	if e.wheel != nil {
+		return e.wheel.peek()
+	}
+	if len(e.queue.ev) == 0 {
+		return nil
+	}
+	return e.queue.ev[0]
+}
+
+// popNext consumes and returns the next event, or nil when idle.
+func (e *Engine) popNext() *Event {
+	if e.wheel != nil {
+		return e.wheel.pop()
+	}
+	if len(e.queue.ev) == 0 {
+		return nil
+	}
+	return e.queue.pop()
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
@@ -244,7 +330,7 @@ func (e *Engine) alloc(t Time) *Event {
 func (e *Engine) At(t Time, fn func()) *Event {
 	ev := e.alloc(t)
 	ev.fn = fn
-	e.queue.push(ev)
+	e.schedule(ev)
 	return ev
 }
 
@@ -265,7 +351,7 @@ func (e *Engine) AtFunc(t Time, fn func(any), arg any) *Event {
 	ev := e.alloc(t)
 	ev.afn = fn
 	ev.arg = arg
-	e.queue.push(ev)
+	e.schedule(ev)
 	return ev
 }
 
@@ -289,27 +375,37 @@ func (e *Engine) Stop() { e.stopped = true }
 // restart from zero), which is what lets warm-start calibration reuse
 // one engine across measurements without perturbing a single result.
 func (e *Engine) Reset() {
-	for _, ev := range e.queue.ev {
-		ev.index = -1
-		ev.dead = true
-		e.recycle(ev)
+	if e.wheel != nil {
+		e.wheel.reset(e.recycle)
+	} else {
+		for _, ev := range e.queue.ev {
+			ev.index = -1
+			ev.loc = locNone
+			ev.dead = true
+			e.recycle(ev)
+		}
+		e.queue.ev = e.queue.ev[:0]
 	}
-	e.queue.ev = e.queue.ev[:0]
 	e.now = 0
 	e.seq = 0
 	e.stopped = false
 }
 
 // Pending reports the number of events still queued.
-func (e *Engine) Pending() int { return e.queue.len() }
+func (e *Engine) Pending() int {
+	if e.wheel != nil {
+		return e.wheel.pending()
+	}
+	return e.queue.len()
+}
 
 // Step fires the next event, advancing the clock to its due time.
 // It reports false if the queue is empty.
 func (e *Engine) Step() bool {
-	if e.queue.len() == 0 {
+	ev := e.popNext()
+	if ev == nil {
 		return false
 	}
-	ev := e.queue.pop()
 	ev.dead = true
 	e.now = ev.due
 	if ev.afn != nil {
@@ -338,11 +434,56 @@ func (e *Engine) Run() Time {
 // clock to deadline if it has not already passed it.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for !e.stopped && e.queue.len() > 0 && e.queue.ev[0].due <= deadline {
+	for !e.stopped {
+		ev := e.peekNext()
+		if ev == nil || ev.due > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
 	return e.now
+}
+
+// RunBefore fires events with due time strictly before deadline,
+// leaving the clock at the last fired event — it never jumps forward
+// to the deadline itself. This is the lookahead-window primitive used
+// by Group.RunWindows: events at or past the window edge stay queued
+// because a cross-engine message may still land before them.
+func (e *Engine) RunBefore(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.peekNext()
+		if ev == nil || ev.due >= deadline {
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// NextDue reports the due time and sequence number of the next pending
+// event. ok is false when the engine is idle.
+func (e *Engine) NextDue() (due Time, seq uint64, ok bool) {
+	ev := e.peekNext()
+	if ev == nil {
+		return 0, 0, false
+	}
+	return ev.due, ev.seq, true
+}
+
+// SyncTo advances the clock to t without firing anything, so that
+// relative scheduling (After/AfterFunc) issued by cross-engine callers
+// lands at the right absolute time. Synchronizing backwards is a no-op;
+// synchronizing past a pending event panics — it would reorder history.
+func (e *Engine) SyncTo(t Time) {
+	if t <= e.now {
+		return
+	}
+	if ev := e.peekNext(); ev != nil && ev.due < t {
+		panic(fmt.Sprintf("sim: SyncTo %v past pending event at %v", t, ev.due))
+	}
+	e.now = t
 }

@@ -151,7 +151,7 @@ func MixRun(cfg Config, spec MixSpec, th core.Throttler) MixResult {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.New()
+	eng, poolEng, group := simEngines(cfg)
 	m := &mixer{
 		cfg:   cfg,
 		spec:  spec,
@@ -177,7 +177,7 @@ func MixRun(cfg Config, spec MixSpec, th core.Throttler) MixResult {
 		if nd > 1 {
 			params = cfg.DomainMem[d]
 		}
-		m.pools = append(m.pools, contend.NewPool(eng, params))
+		m.pools = append(m.pools, contend.NewPool(poolEng[d], params))
 	}
 	threads := cfg.Machine.HardwareThreads()
 	for i := 0; i < threads; i++ {
@@ -196,7 +196,7 @@ func MixRun(cfg Config, spec MixSpec, th core.Throttler) MixResult {
 		i := i
 		eng.After(sim.Time(spec.Streams[i].Arrivals.Next()), func() { m.arrive(i) })
 	}
-	eng.Run()
+	drainEngines(eng, group)
 
 	if m.inflight != 0 || m.pending() != 0 {
 		panic(fmt.Sprintf("simsched: mix deadlock — %d in flight, %d queued at drain",

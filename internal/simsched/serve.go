@@ -140,7 +140,7 @@ func ServeRun(cfg Config, spec ServeSpec, th core.Throttler) ServeResult {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.New()
+	eng, poolEng, group := simEngines(cfg)
 	s := &server{
 		cfg:   cfg,
 		spec:  spec,
@@ -157,7 +157,7 @@ func ServeRun(cfg Config, spec ServeSpec, th core.Throttler) ServeResult {
 		if nd > 1 {
 			params = cfg.DomainMem[d]
 		}
-		s.pools = append(s.pools, contend.NewPool(eng, params))
+		s.pools = append(s.pools, contend.NewPool(poolEng[d], params))
 	}
 	threads := cfg.Machine.HardwareThreads()
 	for i := 0; i < threads; i++ {
@@ -175,7 +175,7 @@ func ServeRun(cfg Config, spec ServeSpec, th core.Throttler) ServeResult {
 	// scheduled by its predecessor, so the engine drains exactly when
 	// the last job has completed.
 	eng.After(sim.Time(spec.Arrivals.Next()), s.arrive)
-	eng.Run()
+	drainEngines(eng, group)
 
 	if s.inflight != 0 || s.pending() != 0 {
 		panic(fmt.Sprintf("simsched: serve deadlock — %d in flight, %d queued at drain",

@@ -53,6 +53,14 @@ type Config struct {
 	Seed       int64
 	// RecordTrace captures a per-thread timeline in the result.
 	RecordTrace bool
+	// SimPar shards the simulation across engines when the machine has
+	// multiple memory domains: each domain's fluid pool lives on its own
+	// timing-wheel engine and a merge-mode sim.Group coordinates them.
+	// The engines share one sequence counter and every clock tracks the
+	// global fire instant, so results are byte-identical to the default
+	// single-engine run — `-simpar` is a performance knob, never a
+	// modelling one. With one domain it degenerates to the default path.
+	SimPar bool
 }
 
 // Default returns the paper's base configuration for the given fluid
@@ -189,6 +197,39 @@ type worker struct {
 	idle bool
 }
 
+// simEngines builds the event engines for one run: the main engine
+// (machine cores, scheduler bookkeeping, arrivals) plus one engine per
+// memory domain for the fluid pools. With SimPar and multiple domains
+// each domain gets a private timing-wheel engine under a merge-mode
+// sim.Group; otherwise every domain entry aliases the single main
+// engine and the group is nil.
+func simEngines(cfg Config) (eng *sim.Engine, poolEng []*sim.Engine, group *sim.Group) {
+	nd := cfg.Machine.Domains()
+	if cfg.SimPar && nd > 1 {
+		engines := make([]*sim.Engine, nd+1)
+		for i := range engines {
+			engines[i] = sim.NewWheel()
+		}
+		return engines[0], engines[1:], sim.NewGroup(engines...)
+	}
+	eng = sim.NewWheel()
+	poolEng = make([]*sim.Engine, nd)
+	for d := range poolEng {
+		poolEng[d] = eng
+	}
+	return eng, poolEng, nil
+}
+
+// drainEngines runs the event loop to completion in whichever shape
+// simEngines produced.
+func drainEngines(eng *sim.Engine, group *sim.Group) {
+	if group != nil {
+		group.Run()
+	} else {
+		eng.Run()
+	}
+}
+
 // runCount counts Run invocations process-wide. The experiment
 // layer's caches are judged by how many simulations they avoid, so
 // the count is exported for regression tests and CLI reporting.
@@ -211,7 +252,7 @@ func Run(prog *stream.Program, cfg Config, th core.Throttler) Result {
 	if err := prog.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.New()
+	eng, poolEng, group := simEngines(cfg)
 	r := &runner{
 		cfg:   cfg,
 		prog:  prog,
@@ -224,7 +265,8 @@ func Run(prog *stream.Program, cfg Config, th core.Throttler) Result {
 	}
 	// One fluid pool per memory domain: with a unified memory system
 	// Mem parameterises the single pool, otherwise each domain's DIMM
-	// gets its own independently calibrated model.
+	// gets its own independently calibrated model (on its own engine
+	// when SimPar shards the run).
 	nd := cfg.Machine.Domains()
 	r.activeMem = make([]int, nd)
 	for d := 0; d < nd; d++ {
@@ -232,7 +274,7 @@ func Run(prog *stream.Program, cfg Config, th core.Throttler) Result {
 		if nd > 1 {
 			params = cfg.DomainMem[d]
 		}
-		r.pools = append(r.pools, contend.NewPool(eng, params))
+		r.pools = append(r.pools, contend.NewPool(poolEng[d], params))
 	}
 	threads := cfg.Machine.HardwareThreads()
 	for i := 0; i < threads; i++ {
@@ -250,7 +292,7 @@ func Run(prog *stream.Program, cfg Config, th core.Throttler) Result {
 	}
 
 	r.enterPhase(0)
-	eng.Run()
+	drainEngines(eng, group)
 
 	if r.phase < len(prog.Phases) {
 		panic(fmt.Sprintf("simsched: deadlock — run ended in phase %d/%d with %d tasks left",
