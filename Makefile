@@ -19,7 +19,7 @@ HOT_BENCHES  = BenchmarkDRAMAccess|BenchmarkStreamPump|BenchmarkCalibrate|Benchm
 # sharded-gate scaling past the old single-gate plateau; the
 # Domains64x* trio holds workers at 64 and varies only the domain
 # count.
-HOST_BENCHES = BenchmarkHostRuntimeThroughput|BenchmarkHostRuntimeThroughput8|BenchmarkHostRuntimeThroughput32|BenchmarkHostRuntimeThroughput64|BenchmarkHostRuntimeThroughput128|BenchmarkHostRuntimeThroughput256|BenchmarkHostRuntimeDomains64x1|BenchmarkHostRuntimeDomains64x2|BenchmarkHostRuntimeDomains64x4|$(SERVE_BENCHES)
+HOST_BENCHES = BenchmarkHostRuntimeThroughput|BenchmarkHostRuntimeThroughput8|BenchmarkHostRuntimeThroughput32|BenchmarkHostRuntimeThroughput64|BenchmarkHostRuntimeThroughput128|BenchmarkHostRuntimeThroughput256|BenchmarkHostRuntimeThroughput512|BenchmarkHostRuntimeDomains64x1|BenchmarkHostRuntimeDomains64x2|BenchmarkHostRuntimeDomains64x4|BenchmarkMpmcRingContended|$(SERVE_BENCHES)
 
 # Open-loop serving benchmarks: sustained Submit->Drain throughput at
 # 64/128/256 workers with batched admission (BenchmarkHostServe*) and
@@ -43,6 +43,13 @@ SIM_PAR_BENCHES = BenchmarkDomainSimSerial2|BenchmarkDomainSimSerial4|BenchmarkD
 # pays a GC tax the legacy controllers never did.
 CORE_BENCHES = BenchmarkPolicyObserve
 
+# Contended-counter microbenchmarks: a single shared atomic counter vs
+# per-writer slots packed on shared lines vs the cache-line-padded
+# stripes the host runtime's hot-path counters use (internal/stats
+# PaddedInt64). The spread is the false-sharing cost the striping pass
+# removed; on a single-CPU runner the three coincide.
+CONTEND_BENCHES = BenchmarkContendedCounterGlobal|BenchmarkContendedCounterSharedLines|BenchmarkContendedCounterStriped
+
 # Benchmarks pinned allocation-free by `make bench-check`: the
 # zero-allocation hot paths from the PR 2 work must never regrow an
 # alloc, the warm Calibrator's adjacent re-measure joins them, and the
@@ -50,12 +57,20 @@ CORE_BENCHES = BenchmarkPolicyObserve
 # and the timing-wheel engine step stay allocation-free too.
 ZERO_ALLOC   = BenchmarkEngineStep,BenchmarkEngineStepWheel,BenchmarkDRAMAccess,BenchmarkStreamPump,BenchmarkGateAdmitBatched,BenchmarkGateAdmitPerJob,BenchmarkPolicyObserve
 
-.PHONY: check lint fmt vet build test race bench bench-host bench-baseline bench-check
+.PHONY: check lint fmt vet layout build test race bench bench-host bench-baseline bench-check
 
 check: lint build test race
 
-# lint is the static gate on its own: formatting plus go vet.
-lint: fmt vet
+# lint is the static gate on its own: formatting, go vet, and the
+# cache-line layout assertions over the dispatch hot structs.
+lint: fmt vet layout
+
+# layout is the in-repo field-alignment gate: TestLayout* pins (via
+# unsafe.Offsetof/Sizeof) that every padded hot-path struct keeps its
+# CAS-hot and read-mostly fields on distinct 64-byte lines, so an
+# innocent field addition cannot silently reintroduce false sharing.
+layout:
+	$(GO) test -run 'TestLayout|TestPaddedInt64Stride' ./host ./internal/stats
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -100,6 +115,7 @@ bench:
 	@{ $(GO) test -run '^$$' -bench '^($(SIM_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
 	   $(GO) test -run '^$$' -bench '^($(SIM_PAR_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/mem; \
 	   $(GO) test -run '^$$' -bench '^($(CORE_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/core; \
+	   $(GO) test -run '^$$' -bench '^($(CONTEND_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/stats; \
 	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
 	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \
 	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json
@@ -114,6 +130,7 @@ bench-baseline:
 	@{ $(GO) test -run '^$$' -bench '^($(SIM_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
 	   $(GO) test -run '^$$' -bench '^($(SIM_PAR_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/mem; \
 	   $(GO) test -run '^$$' -bench '^($(CORE_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/core; \
+	   $(GO) test -run '^$$' -bench '^($(CONTEND_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/stats; \
 	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
 	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \
 	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json -write -note "$(NOTE)"
@@ -126,6 +143,7 @@ bench-check:
 	@{ $(GO) test -run '^$$' -bench '^($(SIM_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/sim; \
 	   $(GO) test -run '^$$' -bench '^($(SIM_PAR_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/mem; \
 	   $(GO) test -run '^$$' -bench '^($(CORE_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/core; \
+	   $(GO) test -run '^$$' -bench '^($(CONTEND_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./internal/stats; \
 	   $(GO) test -run '^$$' -bench '^($(HOT_BENCHES))$$' -benchmem -count $(BENCH_COUNT) .; \
 	   $(GO) test -run '^$$' -bench '^($(HOST_BENCHES))$$' -benchmem -count $(BENCH_COUNT) ./host; } \
 	| $(GO) run ./cmd/benchdiff -baseline BENCH_SIM.json -check -max-regress 0.15 -zero-alloc '$(ZERO_ALLOC)'

@@ -27,23 +27,32 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
 
-// metrics is one benchmark's aggregated numbers.
+// metrics is one benchmark's aggregated numbers. GOMAXPROCS is the
+// parallelism the run used (parsed from the -N name suffix the test
+// runner appends), kept per entry because -merge mixes entries pinned
+// on different runs: a contention number is only comparable against a
+// baseline taken at the same parallelism.
 type metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"b_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	Procs       int     `json:"gomaxprocs,omitempty"`
 }
 
-// baseline is the committed BENCH_SIM.json shape.
+// baseline is the committed BENCH_SIM.json shape. NumCPU records the
+// machine the freshest write/merge ran on — the second half of the
+// context a reader needs to judge the contention numbers.
 type baseline struct {
 	Generated  string             `json:"generated"`
 	Note       string             `json:"note,omitempty"`
+	NumCPU     int                `json:"num_cpu,omitempty"`
 	Benchmarks map[string]metrics `json:"benchmarks"`
 }
 
@@ -73,6 +82,7 @@ func main() {
 		b := baseline{
 			Generated:  time.Now().UTC().Format(time.RFC3339),
 			Note:       *note,
+			NumCPU:     runtime.NumCPU(),
 			Benchmarks: current,
 		}
 		if *merge {
@@ -221,14 +231,18 @@ func parseBench(r *os.File) (map[string]metrics, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		// Strip the -GOMAXPROCS suffix: BenchmarkFoo-8 -> BenchmarkFoo.
+		// Strip the -GOMAXPROCS suffix (BenchmarkFoo-8 -> BenchmarkFoo),
+		// keeping the parallelism it encodes as part of the entry.
 		name := fields[0]
+		procs := 0
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			if p, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
+				procs = p
 			}
 		}
 		var m metrics
+		m.Procs = procs
 		ok := false
 		// fields[1] is the iteration count; the rest come in
 		// (value, unit) pairs, including custom ReportMetric units.

@@ -44,6 +44,7 @@ func BenchmarkHostRuntimeThroughput32(b *testing.B)  { benchThroughput(b, 32, 1)
 func BenchmarkHostRuntimeThroughput64(b *testing.B)  { benchThroughput(b, 64, 2) }
 func BenchmarkHostRuntimeThroughput128(b *testing.B) { benchThroughput(b, 128, 4) }
 func BenchmarkHostRuntimeThroughput256(b *testing.B) { benchThroughput(b, 256, 4) }
+func BenchmarkHostRuntimeThroughput512(b *testing.B) { benchThroughput(b, 512, 4) }
 
 // The Domains64x* points hold the worker count at 64 and vary only the
 // domain count, isolating the sharding effect from worker scaling.

@@ -16,10 +16,20 @@ import "sync/atomic"
 // successors a worker generates — and the spill path keeps pathological
 // shapes (one worker absorbing every scatter while gate-blocked)
 // correct rather than wedged.
+// Layout: top is CAS-hot under thieves, bottom is store-hot under the
+// owner, and mask/ring are immutable after construction. Packed on one
+// line (the pre-padding layout) every owner push/pop invalidated the
+// line mid-CAS under every scanning thief — and vice versa — even when
+// the deque was empty; padded apart, an idle thief's top/mask reads
+// stay in shared state across the owner's pushes. The exact 64-byte
+// gap between top and bottom keeps them on distinct lines for any
+// allocator alignment of the struct.
 type deque struct {
-	top    atomic.Int64 // next steal slot
-	bottom atomic.Int64 // next push slot
-	mask   int64
+	top    atomic.Int64 // next steal slot (thief CAS-hot)
+	_      [56]byte
+	bottom atomic.Int64 // next push slot (owner store-hot)
+	_      [56]byte
+	mask   int64 // immutable
 	ring   []atomic.Pointer[job]
 }
 

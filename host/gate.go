@@ -16,10 +16,22 @@ import (
 // so the paper's hard invariant — never more than MTL memory tasks in
 // flight — holds across overlapping phase teardown exactly as the old
 // mutex-and-counter implementation did.
+//
+// Layout: limit is read-mostly — every admission loads it, pollers
+// (Runtime.MTL, watchdogs, samplers) load it, and only the controller
+// stores it — while active/peak absorb a CAS per admission and an add
+// per release. Packed together (the pre-padding layout) every
+// admission CAS invalidated the line under all the limit readers;
+// padded apart, readers of the mirrored limit keep their line in
+// shared state across admissions. The trailing pad strides the struct
+// to two full lines so adjacent per-domain gates in Runtime.gates
+// never share a line either. TestLayoutHotStructs pins the offsets.
 type gate struct {
-	limit  atomic.Int64 // current MTL, mirrored from the controller
-	active atomic.Int64 // memory-class tasks in flight
+	limit  atomic.Int64 // current MTL, mirrored from the controller (read-mostly)
+	_      [56]byte
+	active atomic.Int64 // memory-class tasks in flight (CAS-hot)
 	peak   atomic.Int64 // high-water mark of active, reset per Run
+	_      [48]byte
 }
 
 // tryAcquire claims one memory-task slot if the gate is open. The
@@ -119,7 +131,36 @@ type parker struct {
 type lot struct {
 	mu     sync.Mutex
 	parked []*parker
+
+	// spinners counts workers currently in the adaptive pre-park spin
+	// (spin.go). It caps concurrent spinning so burst arrivals get
+	// low-latency handoff without idle workers burning every core, and
+	// is padded off the mutex's line so spin entry/exit never bounces
+	// the lock word the unpark paths take.
+	_        [32]byte
+	spinners atomic.Int64
+	_        [56]byte
 }
+
+// beginSpin claims one of the lot's spin slots (at most max concurrent
+// spinners). On false the caller parks immediately.
+func (l *lot) beginSpin(max int64) bool {
+	if max <= 0 {
+		return false
+	}
+	for {
+		n := l.spinners.Load()
+		if n >= max {
+			return false
+		}
+		if l.spinners.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// endSpin returns a spin slot.
+func (l *lot) endSpin() { l.spinners.Add(-1) }
 
 // enqueue registers p as parked. Callers must not hold lot.mu. The
 // caller re-scans for work *after* enqueueing: any job published after

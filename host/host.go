@@ -62,6 +62,7 @@ import (
 	"time"
 
 	"memthrottle/internal/core"
+	"memthrottle/internal/stats"
 )
 
 // Pair is one gather-compute(-scatter) work unit. Memory should move
@@ -283,17 +284,25 @@ func (c Config) validate() error {
 	return nil
 }
 
-// DomainStats is the per-domain slice of one Run's dispatch activity.
+// DomainStats is the per-domain slice of one Run's dispatch activity,
+// merged from the per-worker counter shards after the phase completes.
 // Steal counters are attributed to the domain of the stolen jobs;
 // Parks and Idle to the domain the parking worker is homed at.
+//
+// Parks counts only blocking parks — a worker whose adaptive pre-park
+// spin (spin.go) found work or consumed its wakeup token mid-spin
+// never blocked, so it contributes neither a park nor idle time. Idle
+// is sampled once per park/unpark cycle (one timestamp pair around the
+// token wait, added to the worker's own shard on wake), so it measures
+// blocked time exclusively: spin time is running time, by design.
 type DomainStats struct {
 	Pairs        int           // pairs homed in this domain
 	Steals       int           // same-domain steals (thief homed here)
 	RemoteSteals int           // cross-domain steal visits into this domain
 	StolenJobs   int           // jobs moved by remote steal-half visits
 	Spills       int           // jobs that overflowed a deque into this domain's shared list
-	Parks        int           // park events of workers homed here
-	Idle         time.Duration // time workers homed here spent parked
+	Parks        int           // blocking park events of workers homed here
+	Idle         time.Duration // blocked-park time of workers homed here
 	PeakActive   int           // peak concurrent admitted memory tasks
 }
 
@@ -337,7 +346,19 @@ type Runtime struct {
 	// classActive counts in-flight memory tasks per traffic class,
 	// maintained only when lim is set (the class-blind hot path pays
 	// nothing). It spans Run and Serve sessions like the gates do.
-	classActive [core.MaxClasses]atomic.Int64
+	// Each counter is padded onto its own cache line: the eight-wide
+	// array used to fit one line, so every class's admission CAS
+	// invalidated every other class's counter.
+	classActive [core.MaxClasses]stats.PaddedInt64
+
+	// sig holds the per-worker signal shards (issue/retry counts per
+	// class) when the controller supports batched harvesting
+	// (core.SignalBatching): workers bump only their own padded shard
+	// and the controller sums the shards once per monitor window via
+	// SignalTotals. nil when the controller wants per-event OnSignal
+	// calls (or consumes no signals at all). The shards span Run and
+	// Serve sessions — totals are cumulative, as SignalSource requires.
+	sig []sigShard
 
 	// gates admit memory-class tasks with a CAS against the mirrored
 	// MTL, one gate per memory domain; lot parks idle workers for
@@ -389,6 +410,10 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	r.lim, _ = r.th.(core.ClassLimiter)
 	r.obs, _ = r.th.(core.Observer)
+	if sb, ok := r.th.(core.SignalBatching); ok && r.obs != nil {
+		r.sig = make([]sigShard, cfg.Workers)
+		sb.SetSignalSource(r)
+	}
 	r.gates = make([]gate, cfg.Domains)
 	limit := int64(r.th.MTL())
 	for d := range r.gates {
@@ -615,6 +640,7 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 	}
 	_, fixed := r.th.(core.Fixed)
 	ph.adaptive = !fixed
+	ph.spinMax = spinnerCap()
 	ph.remain.Store(int64(total))
 
 	// The initial memory jobs seed each domain's shared FIFO in
@@ -680,21 +706,37 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 		Retries:        int(ph.retries.Load()),
 		Recovered:      int(ph.recovered.Load()),
 	}
+	// Merge the striped per-worker shards into the per-domain view:
+	// parks/idle are attributed to the worker's home domain, the steal
+	// family to the domain of the counted jobs. This is the only place
+	// the shards are summed — the per-task fast path touched nothing
+	// shared.
 	st.Domains = make([]DomainStats, nd)
-	for d := range st.Domains {
-		ds := &ph.doms[d]
-		spills := int(ds.spills.Load())
-		st.Domains[d] = DomainStats{
-			Pairs:        ds.pairs,
-			Steals:       int(ds.steals.Load()),
-			RemoteSteals: int(ds.remoteSteals.Load()),
-			StolenJobs:   int(ds.stolenJobs.Load()),
-			Spills:       spills,
-			Parks:        int(ds.parks.Load()),
-			Idle:         time.Duration(ds.idleNs.Load()),
-			PeakActive:   int(r.gates[d].peak.Load()),
+	var sumTm, nTm, sumTc, nTc int64
+	for i := range ph.workers {
+		w := ph.workers[i].Load()
+		if w == nil {
+			continue
 		}
-		st.Spills += spills
+		sumTm += w.sumTm.Load()
+		nTm += w.nTm.Load()
+		sumTc += w.sumTc.Load()
+		nTc += w.nTc.Load()
+		hd := &st.Domains[w.home]
+		hd.Parks += int(w.parks.Load())
+		hd.Idle += time.Duration(w.idleNs.Load())
+		for d := range w.doms {
+			ds := &st.Domains[d]
+			ds.Steals += int(w.doms[d].steals.Load())
+			ds.RemoteSteals += int(w.doms[d].remoteSteals.Load())
+			ds.StolenJobs += int(w.doms[d].stolenJobs.Load())
+			ds.Spills += int(w.doms[d].spills.Load())
+		}
+	}
+	for d := range st.Domains {
+		st.Domains[d].Pairs = ph.doms[d].pairs
+		st.Domains[d].PeakActive = int(r.gates[d].peak.Load())
+		st.Spills += st.Domains[d].Spills
 	}
 	ph.wdMu.Lock()
 	st.Stalls = ph.stalls
@@ -715,11 +757,11 @@ func (r *Runtime) RunContext(ctx context.Context, pairs []Pair) (Stats, error) {
 		st.MTLDecisions = append([]int(nil), p.History...)
 	}
 	r.ctrlMu.Unlock()
-	if n := ph.nTm.Load(); n > 0 {
-		st.MeanTm = time.Duration(ph.sumTm.Load() / n)
+	if nTm > 0 {
+		st.MeanTm = time.Duration(sumTm / nTm)
 	}
-	if n := ph.nTc.Load(); n > 0 {
-		st.MeanTc = time.Duration(ph.sumTc.Load() / n)
+	if nTc > 0 {
+		st.MeanTc = time.Duration(sumTc / nTc)
 	}
 
 	ph.stateMu.Lock()
@@ -751,16 +793,38 @@ func (r *Runtime) RunPhases(phases [][]Pair) ([]Stats, error) {
 // worker is one dispatch loop's private state: a bounded memory-class
 // deque per domain (admission-gated; mem[home] is the cache-warm one,
 // the others hold steal-half loot and remote-homed scatters), a free
-// compute deque, a parking slot, and a steal RNG. Memory deques are
-// allocated on first push — the seeded overflow feeds most gathers, so
-// a worker that never produces a memory successor never pays for them.
+// compute deque, a parking slot, a steal RNG, and the worker's striped
+// counter shard. Memory deques are allocated on first push — the
+// seeded overflow feeds most gathers, so a worker that never produces
+// a memory successor never pays for them.
+//
+// Layout: the fields thieves poll while scanning (the deque pointers)
+// come first, then a full line of padding, then the owner-hot mutable
+// state — so a worker bumping its own counters or RNG never
+// invalidates the lines other workers' steal scans are reading.
 type worker struct {
 	slot int
 	home int // home memory domain (slot % Domains)
 	mem  []atomic.Pointer[deque]
 	comp *deque
-	park parker
-	rng  uint64
+
+	_ [64]byte // thief-scanned pointers above, owner-hot state below
+
+	park   parker
+	rng    uint64
+	spinNs int64 // EWMA idle gap, drives the pre-park spin budget
+
+	// Striped per-worker counters, merged into Stats after the phase.
+	// Single-writer — only this worker adds — but atomic, because the
+	// end-of-run merge may read while a worker wedged in user code past
+	// an abort is still accounting its final park.
+	sumTm  atomic.Int64 // summed memory-task ns
+	nTm    atomic.Int64
+	sumTc  atomic.Int64 // summed compute-task ns
+	nTc    atomic.Int64
+	parks  atomic.Int64 // blocking park events (home domain)
+	idleNs atomic.Int64 // blocked-park time (home domain)
+	doms   []domShard   // per-domain steal/spill counters
 }
 
 // memQ returns w's deque for domain d, installing it on first use.
@@ -864,8 +928,14 @@ type overflow struct {
 }
 
 // domainState is one memory domain's share of the phase: its overflow
-// shard, the advisory ready count for its memory class, and the
-// observability counters surfaced as DomainStats.
+// shard and the advisory ready count for its memory class. The
+// observability counters that used to live here (steals, spills,
+// parks, idle) are striped into the per-worker shards and merged into
+// DomainStats only at end of run — every worker RMW-ing six shared
+// counters per dispatch event was the very line ping-pong this domain
+// sharding exists to cut. readyMem keeps its own line: it is the one
+// remaining all-workers RMW word, and packing it beside the overflow
+// lists' mutexes made every publish invalidate the take fast path.
 type domainState struct {
 	// readyMem is an advisory upper bound on the runnable memory jobs
 	// homed in this domain: publishers increment *before* pushing, so
@@ -876,15 +946,10 @@ type domainState struct {
 	// transiently overshoot — costing a spurious scan, never a lost
 	// job.
 	readyMem atomic.Int64
+	_        [56]byte
 	over     overflow
-	pairs    int // pairs homed here, set at seed time
-
-	steals       atomic.Int64
-	remoteSteals atomic.Int64
-	stolenJobs   atomic.Int64
-	spills       atomic.Int64
-	parks        atomic.Int64
-	idleNs       atomic.Int64
+	pairs    int      // pairs homed here, set at seed time
+	_        [24]byte // stride to a line multiple: no cross-domain sharing
 }
 
 // phase is the shared state of one Run.
@@ -911,17 +976,14 @@ type phase struct {
 	// global advisory count suffices).
 	readyComp atomic.Int64
 
-	watch    bool // stall watchdog armed (Config.StallTimeout > 0)
-	adaptive bool // controller consumes samples (non-Fixed throttler)
+	watch    bool  // stall watchdog armed (Config.StallTimeout > 0)
+	adaptive bool  // controller consumes samples (non-Fixed throttler)
+	spinMax  int64 // concurrent pre-park spinner cap (0 disables)
 
-	// Timing aggregates. tmDur[i] is written once by pair i's gather
-	// finisher and read by its compute finisher; the dispatch path's
-	// atomics order the two. The sums feed Stats means only.
+	// tmDur[i] is written once by pair i's gather finisher and read by
+	// its compute finisher; the dispatch path's atomics order the two.
+	// The per-phase timing sums live in the per-worker shards.
 	tmDur []time.Duration // per-pair memory-task duration
-	sumTm atomic.Int64    // nanoseconds
-	nTm   atomic.Int64
-	sumTc atomic.Int64 // nanoseconds
-	nTc   atomic.Int64
 
 	flight []flightRec // per-worker in-flight registry (atomic fields)
 
@@ -966,6 +1028,7 @@ func (ph *phase) spawnWorker() {
 				comp: newDeque(64),
 				rng:  uint64(n)*0x9E3779B97F4A7C15 + 1,
 				park: parker{token: make(chan struct{}, 1)},
+				doms: make([]domShard, ph.nd),
 			}
 			ph.workers[n].Store(w)
 			go ph.work(w)
@@ -1113,9 +1176,7 @@ func (ph *phase) acquireMem(w *worker, d int) *job {
 			return nil
 		}
 		ds.readyMem.Add(-1)
-		if r.obs != nil {
-			r.obs.OnSignal(c, core.SignalIssue)
-		}
+		r.noteIssue(w.slot, c)
 		return j
 	}
 	// Raced away: hand the speculative slot back, and nudge one
@@ -1159,7 +1220,7 @@ func (ph *phase) stealMem(w *worker, d int) *job {
 			continue
 		}
 		if !remote {
-			ds.steals.Add(1)
+			w.doms[d].steals.Add(1)
 			return j
 		}
 		// Steal-half: the target is computed once from the victim's
@@ -1174,12 +1235,12 @@ func (ph *phase) stealMem(w *worker, d int) *job {
 			}
 			if !w.memQ(d).push(jj) {
 				ds.over.mem.put(jj)
-				ds.spills.Add(1)
+				w.doms[d].spills.Add(1)
 			}
 			moved++
 		}
-		ds.remoteSteals.Add(1)
-		ds.stolenJobs.Add(int64(1 + moved))
+		w.doms[d].remoteSteals.Add(1)
+		w.doms[d].stolenJobs.Add(int64(1 + moved))
 		return j
 	}
 	return nil
@@ -1218,14 +1279,17 @@ func (ph *phase) stealComp(w *worker) *job {
 	return nil
 }
 
-// parkTillWork blocks the worker until a wakeup token arrives, then
-// retries acquisition. Returns nil when the phase is over. The
-// re-scan after enqueueing closes the lost-wakeup window: any job
-// published after that scan sees this worker parked and wakes it.
-// Parked spells are accounted to the worker's home domain.
+// parkTillWork idles the worker until work (or the end of the phase)
+// arrives: enqueue in the lot, re-scan (closing the lost-wakeup
+// window — any job published after that scan sees this worker parked
+// and wakes it), then spin for the adaptive budget before blocking on
+// the park token (see spin.go). The spin runs while enqueued, so the
+// targeted unpark protocol covers it unchanged; a token consumed
+// mid-spin is exactly a wakeup and loops back to acquisition. Only
+// the blocking park counts as a park, and its duration is accounted
+// once per cycle to the worker's shard (home-domain idle time).
 func (ph *phase) parkTillWork(w *worker) *job {
 	l := &ph.rt.lot
-	ds := &ph.doms[w.home]
 	for {
 		l.enqueue(&w.park)
 		if ph.stopped() {
@@ -1236,10 +1300,67 @@ func (ph *phase) parkTillWork(w *worker) *job {
 			l.cancel(&w.park)
 			return j
 		}
-		ds.parks.Add(1)
+		if budget := spinBudgetNs(w.spinNs); budget > 0 && l.beginSpin(ph.spinMax) {
+			t0 := time.Now()
+			woken := false
+			for i := 1; !woken && time.Since(t0).Nanoseconds() < budget; i++ {
+				select {
+				case <-w.park.token:
+					woken = true
+				default:
+				}
+				if woken || ph.stopped() {
+					break
+				}
+				if ph.readyComp.Load() > 0 {
+					break
+				}
+				ready := false
+				for d := 0; d < ph.nd; d++ {
+					if ph.doms[d].readyMem.Load() > 0 {
+						ready = true
+						break
+					}
+				}
+				if ready {
+					break
+				}
+				if i%spinYieldEvery == 0 {
+					runtime.Gosched()
+				}
+			}
+			l.endSpin()
+			gap := time.Since(t0).Nanoseconds()
+			if !woken {
+				if ph.stopped() {
+					l.cancel(&w.park)
+					return nil
+				}
+				if j := ph.acquire(w); j != nil {
+					l.cancel(&w.park)
+					w.spinNs = foldIdleGap(w.spinNs, gap)
+					return j
+				}
+				// Budget spent with nothing runnable: fall through to the
+				// blocking park (still enqueued, so no wakeup was lost).
+			} else {
+				// Token consumed mid-spin — this was the wakeup.
+				w.spinNs = foldIdleGap(w.spinNs, gap)
+				if ph.stopped() {
+					return nil
+				}
+				if j := ph.acquire(w); j != nil {
+					return j
+				}
+				continue
+			}
+		}
+		w.parks.Add(1)
 		t0 := time.Now()
 		<-w.park.token
-		ds.idleNs.Add(time.Since(t0).Nanoseconds())
+		gap := time.Since(t0).Nanoseconds()
+		w.idleNs.Add(gap)
+		w.spinNs = foldIdleGap(w.spinNs, gap)
 		if ph.stopped() {
 			return nil
 		}
@@ -1317,7 +1438,7 @@ func (ph *phase) dispatch(w *worker, j *job) {
 		} else {
 			ds.over.comp.put(j)
 		}
-		ds.spills.Add(1)
+		w.doms[d].spills.Add(1)
 		busy = true
 	}
 	if busy && !ph.rt.lot.unparkOne() {
@@ -1333,16 +1454,16 @@ func (ph *phase) finish(w *worker, j *job, dur time.Duration, end time.Time) {
 		// The plain write to tmDur is published to the compute task's
 		// executor by the deque/overflow atomics inside dispatch.
 		ph.tmDur[j.pair()] = dur
-		ph.sumTm.Add(int64(dur))
-		ph.nTm.Add(1)
+		w.sumTm.Add(int64(dur))
+		w.nTm.Add(1)
 		ph.dispatch(w, &ph.jobs[j.id+1])
 	case 1: // compute
 		ph.completed.Add(1)
 		if sc := &ph.jobs[j.id+1]; sc.fn != nil || sc.fnE != nil {
 			ph.dispatch(w, sc)
 		}
-		ph.sumTc.Add(int64(dur))
-		ph.nTc.Add(1)
+		w.sumTc.Add(int64(dur))
+		w.nTc.Add(1)
 		// A completed memory/compute pair feeds an adaptive controller
 		// with real wall-clock timings; a Fixed throttler ignores
 		// samples and its limit never moves, so the lock is skipped.
@@ -1413,9 +1534,7 @@ func (ph *phase) runWithRetry(slot int, j *job) (dur time.Duration, end time.Tim
 		if ph.ctx.Err() != nil {
 			return 0, end, attempts, err
 		}
-		if ph.rt.obs != nil {
-			ph.rt.obs.OnSignal(ph.classOf(j), core.SignalRetry)
-		}
+		ph.rt.noteRetry(slot, ph.classOf(j))
 		if rng == nil {
 			// Decorrelated per worker, reproducible per seed.
 			rng = rand.New(rand.NewSource(pol.Seed + int64(slot)*0x9E3779B9 + 1))

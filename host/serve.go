@@ -240,12 +240,15 @@ func (l *servList) take() *servJob {
 }
 
 // serveWorker is one serving worker's private state, including its
-// latency-histogram shards (merged only after the worker exits).
+// latency-histogram shards (merged only after the worker exits). Each
+// serveWorker is its own heap allocation, so no cross-worker padding
+// is needed here.
 type serveWorker struct {
 	slot     int
 	home     int
 	park     parker
 	rng      uint64
+	spinNs   int64 // EWMA idle gap, drives the pre-park spin budget
 	queueH   stats.LatencyHist
 	serviceH stats.LatencyHist
 }
@@ -256,6 +259,7 @@ type Server struct {
 	sc       ServeConfig
 	start    time.Time
 	adaptive bool
+	spinMax  int64 // concurrent pre-park spinner cap (see spin.go)
 
 	doms []servDomain
 	free *mpmcRing
@@ -329,6 +333,7 @@ func (r *Runtime) Serve(sc ServeConfig) (*Server, error) {
 	s.blockCond = sync.NewCond(&s.blockMu)
 	_, fixed := r.th.(core.Fixed)
 	s.adaptive = !fixed
+	s.spinMax = spinnerCap()
 	for d := range s.doms {
 		s.doms[d].pend = newMPMCRing(queueCap)
 		s.doms[d].admitted = newMPMCRing(admitCap)
@@ -555,9 +560,10 @@ func (s *Server) pump(d int) {
 				sd.scat.put(j)
 				break
 			}
-			if s.rt.obs != nil {
-				s.rt.obs.OnSignal(int(j.class), core.SignalIssue)
-			}
+			// The issue signal is emitted by the worker that pops this
+			// admission (exec), not here: pump runs on arbitrary submitter
+			// goroutines with no worker slot to attribute a shard write
+			// to, and every admitted job is executed exactly once.
 			moved++
 		}
 		for _, j := range deferred {
@@ -667,9 +673,12 @@ func (s *Server) take(w *serveWorker) *servJob {
 	return nil
 }
 
-// parkTillWork parks w until a wakeup token arrives, with the batch
-// path's lost-wakeup closure: re-scan after enqueueing, so any job
-// admitted after the scan finds this worker in the lot.
+// parkTillWork idles w until a wakeup token arrives, with the batch
+// path's lost-wakeup closure (re-scan after enqueueing, so any job
+// admitted after the scan finds this worker in the lot) and the batch
+// path's adaptive spin-then-park (spin.go): a bounded spin polls the
+// token and the admitted rings before the worker commits to the
+// blocking park.
 func (s *Server) parkTillWork(w *serveWorker) *servJob {
 	for {
 		s.lot.enqueue(&w.park)
@@ -681,7 +690,60 @@ func (s *Server) parkTillWork(w *serveWorker) *servJob {
 			s.lot.cancel(&w.park)
 			return j
 		}
+		if budget := spinBudgetNs(w.spinNs); budget > 0 && s.lot.beginSpin(s.spinMax) {
+			t0 := time.Now()
+			woken := false
+			for i := 1; !woken && time.Since(t0).Nanoseconds() < budget; i++ {
+				select {
+				case <-w.park.token:
+					woken = true
+				default:
+				}
+				if woken || s.finished() {
+					break
+				}
+				ready := false
+				for d := range s.doms {
+					if s.doms[d].admitted.length() > 0 {
+						ready = true
+						break
+					}
+				}
+				if ready {
+					break
+				}
+				if i%spinYieldEvery == 0 {
+					runtime.Gosched()
+				}
+			}
+			s.lot.endSpin()
+			gap := time.Since(t0).Nanoseconds()
+			if woken {
+				// Token consumed mid-spin — this was the wakeup.
+				w.spinNs = foldIdleGap(w.spinNs, gap)
+				if s.finished() {
+					return nil
+				}
+				if j := s.take(w); j != nil {
+					return j
+				}
+				continue
+			}
+			if s.finished() {
+				s.lot.cancel(&w.park)
+				return nil
+			}
+			if j := s.take(w); j != nil {
+				s.lot.cancel(&w.park)
+				w.spinNs = foldIdleGap(w.spinNs, gap)
+				return j
+			}
+			// Budget spent with nothing admitted: fall through to the
+			// blocking park (still enqueued, so no wakeup was lost).
+		}
+		t0 := time.Now()
 		<-w.park.token
+		w.spinNs = foldIdleGap(w.spinNs, time.Since(t0).Nanoseconds())
 		if s.finished() {
 			return nil
 		}
@@ -697,6 +759,9 @@ func (s *Server) parkTillWork(w *serveWorker) *servJob {
 // run under the held slot, release, finish.
 func (s *Server) exec(w *serveWorker, j *servJob) {
 	d := int(j.dom)
+	// One issue signal per gate admission (gather and scatter stages are
+	// each admitted once), attributed to this worker's shard.
+	s.rt.noteIssue(w.slot, int(j.class))
 	if j.scatter {
 		_, err := s.runRetry(w, j.scat, j.scatE, j, "scatter")
 		s.releaseSlots(d, 1)
@@ -784,9 +849,7 @@ func (s *Server) runRetry(w *serveWorker, fn func(), fnE func() error, j *servJo
 			}
 			return 0, err
 		}
-		if s.rt.obs != nil {
-			s.rt.obs.OnSignal(int(j.class), core.SignalRetry)
-		}
+		s.rt.noteRetry(w.slot, int(j.class))
 		if rng == nil {
 			// Allocated only on the retry slow path — the success path
 			// stays allocation-free. Decorrelated per worker,

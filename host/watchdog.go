@@ -9,12 +9,17 @@ import (
 
 // flightRec tracks one worker's in-flight task for the stall watchdog.
 // All fields are atomics: the worker publishes set/clear without taking
-// any lock, and the watchdog scans without stopping the world.
+// any lock, and the watchdog scans without stopping the world. The pad
+// strides the record to a full cache line: records live in one
+// per-worker array and set/clear run once per task attempt, so two
+// unpadded records per line would make every worker's attempt
+// bookkeeping invalidate its neighbour's.
 type flightRec struct {
 	pair    atomic.Int64
 	class   atomic.Int64 // traffic class, for the stall signal
 	start   atomic.Int64 // attempt start, UnixNano; 0 = idle
 	stalled atomic.Bool  // already flagged; a task stalls at most once
+	_       [36]byte
 }
 
 // set registers the start of one task attempt. Order matters: the pair

@@ -113,6 +113,29 @@ type Observer interface {
 	OnSignal(class int, sig Signal)
 }
 
+// SignalSource is the batched alternative to per-event OnSignal calls:
+// a runtime that keeps its own per-worker signal shards exposes their
+// cumulative per-class totals, and the throttler polls them once per
+// window boundary instead of taking one contended atomic add per
+// admission. Totals must be monotone non-decreasing and safe to read
+// from any goroutine; the throttler diffs consecutive polls to recover
+// per-window counts.
+type SignalSource interface {
+	// SignalTotals reports the cumulative issue and retry counts
+	// recorded for class since the source was created.
+	SignalTotals(class int) (issues, retries int64)
+}
+
+// SignalBatching is implemented by throttlers that can aggregate a
+// SignalSource's shard snapshots at window boundaries. A runtime that
+// detects the interface registers its source once and then stops
+// emitting per-event SignalIssue/SignalRetry calls; stall signals keep
+// the OnSignal path (they originate on a single watchdog goroutine, so
+// batching buys nothing).
+type SignalBatching interface {
+	SetSignalSource(src SignalSource)
+}
+
 // PolicyThrottler adapts a Policy to the Throttler interface: it
 // windows the pair stream (W pairs per window, like the legacy
 // controllers), keeps per-class aggregates and signal counters, calls
@@ -131,11 +154,14 @@ type PolicyThrottler struct {
 	maxClass   int
 
 	// Cumulative signal counters (concurrent writers) and the values
-	// harvested at the previous boundary.
+	// harvested at the previous boundary. src, when registered, adds
+	// the runtime's striped per-worker issue/retry totals on top of the
+	// OnSignal-fed counters at each harvest.
 	issues  [MaxClasses]atomic.Int64
 	stalls  [MaxClasses]atomic.Int64
 	retries [MaxClasses]atomic.Int64
 	seen    [MaxClasses][3]int64
+	src     SignalSource
 
 	climit [MaxClasses]atomic.Int32
 	black  atomic.Uint64
@@ -192,6 +218,12 @@ func (t *PolicyThrottler) Blacklisted(class int) bool {
 	return t.black.Load()&(1<<uint(class)) != 0
 }
 
+// SetSignalSource implements SignalBatching: totals polled from src at
+// each window boundary are added on top of the OnSignal-fed counters.
+// Register at setup time, before the pair stream starts; the source is
+// read under the same external serialization as OnPair.
+func (t *PolicyThrottler) SetSignalSource(src SignalSource) { t.src = src }
+
 // OnSignal implements Observer: lock-free counter bumps, harvested at
 // the next window boundary.
 func (t *PolicyThrottler) OnSignal(class int, sig Signal) {
@@ -240,9 +272,15 @@ func (t *PolicyThrottler) OnPair(s PairSample) {
 	}
 	for i := 0; i < t.maxClass; i++ {
 		cc := t.classes[i]
-		cc.Issues = int(t.issues[i].Load() - t.seen[i][0])
+		issues, retries := t.issues[i].Load(), t.retries[i].Load()
+		if t.src != nil {
+			si, sr := t.src.SignalTotals(i)
+			issues += si
+			retries += sr
+		}
+		cc.Issues = int(issues - t.seen[i][0])
 		cc.Stalls = int(t.stalls[i].Load() - t.seen[i][1])
-		cc.Retries = int(t.retries[i].Load() - t.seen[i][2])
+		cc.Retries = int(retries - t.seen[i][2])
 		t.seen[i][0] += int64(cc.Issues)
 		t.seen[i][1] += int64(cc.Stalls)
 		t.seen[i][2] += int64(cc.Retries)

@@ -1,0 +1,76 @@
+package core
+
+import "testing"
+
+// fakeSource is a SignalSource with hand-set cumulative totals.
+type fakeSource struct {
+	issues  [MaxClasses]int64
+	retries [MaxClasses]int64
+}
+
+func (f *fakeSource) SignalTotals(class int) (int64, int64) {
+	return f.issues[class], f.retries[class]
+}
+
+// TestPolicyThrottlerSignalSource pins the batched harvest path: a
+// registered SignalSource's cumulative totals are added on top of the
+// OnSignal-fed counters at each window boundary, and consecutive
+// windows observe deltas — a total harvested once is never re-counted,
+// and growth between windows shows up exactly once.
+func TestPolicyThrottlerSignalSource(t *testing.T) {
+	var got []WindowStats
+	p := policyFunc{
+		name: "src-spy",
+		fn: func(w WindowStats) Decision {
+			cp := w
+			cp.Classes = append([]ClassStats(nil), w.Classes...)
+			got = append(got, cp)
+			return Decision{Monitoring: true}
+		},
+	}
+	th := NewPolicyThrottler(p, 2, 8)
+	src := &fakeSource{}
+	th.SetSignalSource(src)
+
+	// Window 1: shard totals plus one per-event OnSignal must sum.
+	src.issues[0] = 5
+	src.retries[1] = 3
+	th.OnSignal(0, SignalIssue) // the compatibility path still counts
+	var now Time
+	feedPairs(th, 1, 2*pus, 6*pus, 0, &now)
+	feedPairs(th, 1, 2*pus, 6*pus, 1, &now)
+	if len(got) != 1 {
+		t.Fatalf("observed %d windows, want 1", len(got))
+	}
+	if is := got[0].Classes[0].Issues; is != 6 {
+		t.Errorf("window 1 class 0 issues = %d, want 6 (5 shard + 1 OnSignal)", is)
+	}
+	if rt := got[0].Classes[1].Retries; rt != 3 {
+		t.Errorf("window 1 class 1 retries = %d, want 3 (shard total)", rt)
+	}
+	if got[0].Retries != 3 {
+		t.Errorf("window 1 aggregate retries = %d, want 3", got[0].Retries)
+	}
+
+	// Window 2: totals are monotone; only the growth is harvested.
+	src.issues[0] = 9
+	feedPairs(th, 2, 2*pus, 6*pus, 0, &now)
+	if len(got) != 2 {
+		t.Fatalf("observed %d windows, want 2", len(got))
+	}
+	if is := got[1].Classes[0].Issues; is != 4 {
+		t.Errorf("window 2 class 0 issues = %d, want 4 (delta 9-5)", is)
+	}
+	if rt := got[1].Classes[1].Retries; rt != 0 {
+		t.Errorf("window 2 class 1 retries = %d, want 0 (no growth)", rt)
+	}
+
+	// Window 3: unchanged totals harvest zero.
+	feedPairs(th, 2, 2*pus, 6*pus, 0, &now)
+	if len(got) != 3 {
+		t.Fatalf("observed %d windows, want 3", len(got))
+	}
+	if is := got[2].Classes[0].Issues; is != 0 {
+		t.Errorf("window 3 class 0 issues = %d, want 0", is)
+	}
+}

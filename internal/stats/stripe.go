@@ -1,0 +1,40 @@
+package stats
+
+import "sync/atomic"
+
+// CacheLine is the coherence granule the padded types below are laid
+// out against. 64 bytes covers every platform this repo targets (x86,
+// arm64's typical 64-byte CCI line); the layout tests assert the
+// derived struct sizes so a change here is caught at test time.
+const CacheLine = 64
+
+// PaddedInt64 is an atomic counter that never shares a cache line with
+// a neighbouring PaddedInt64, even when embedded in an array whose base
+// the allocator did not line-align: the 128-byte stride leaves at least
+// a full line between consecutive counters' hot words, so an element's
+// 8 hot bytes and its neighbour's can never land on the same 64-byte
+// line for any base offset.
+//
+// Use it for counter arrays indexed by class/shard/worker where every
+// element is write-hot under different goroutines — e.g. the host
+// runtime's per-class in-flight counts, which used to pack eight
+// CAS-hot counters into one line and turned every admission into
+// coherence traffic across all classes.
+type PaddedInt64 struct {
+	n atomic.Int64
+	_ [2*CacheLine - 8]byte
+}
+
+// Add atomically adds delta and returns the new value.
+func (p *PaddedInt64) Add(delta int64) int64 { return p.n.Add(delta) }
+
+// Load atomically loads the value.
+func (p *PaddedInt64) Load() int64 { return p.n.Load() }
+
+// Store atomically stores v.
+func (p *PaddedInt64) Store(v int64) { p.n.Store(v) }
+
+// CompareAndSwap executes the compare-and-swap for the counter.
+func (p *PaddedInt64) CompareAndSwap(old, new int64) bool {
+	return p.n.CompareAndSwap(old, new)
+}

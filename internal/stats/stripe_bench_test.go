@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The contended-counters family measures the exact pathology the
+// striped hot-path counters eliminate: P goroutines bumping shared
+// observability state. Global is the pre-striping layout (every add is
+// an RMW on one line under all writers), SharedLines is the subtle
+// middle case (per-writer slots that are distinct words but pack
+// several to a cache line, so the adds still bounce lines), and
+// Striped is the repo's layout — one PaddedInt64 per writer, adds stay
+// in the writer's own cache and only a reader ever sums them. On a
+// single-processor host the three coincide (there is no cross-core
+// coherence traffic to pay for); the spread appears with GOMAXPROCS.
+
+// benchShards is sized past RunParallel's default parallelism so each
+// worker gets a distinct stripe.
+const benchShards = 256
+
+func BenchmarkContendedCounterGlobal(b *testing.B) {
+	var n atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n.Add(1)
+		}
+	})
+	if n.Load() != int64(b.N) {
+		b.Fatalf("count = %d, want %d", n.Load(), b.N)
+	}
+}
+
+func BenchmarkContendedCounterSharedLines(b *testing.B) {
+	var shards [benchShards]atomic.Int64
+	var id atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		s := &shards[int(id.Add(1)-1)%benchShards]
+		for pb.Next() {
+			s.Add(1)
+		}
+	})
+	var total int64
+	for i := range shards {
+		total += shards[i].Load()
+	}
+	if total != int64(b.N) {
+		b.Fatalf("count = %d, want %d", total, b.N)
+	}
+}
+
+func BenchmarkContendedCounterStriped(b *testing.B) {
+	shards := make([]PaddedInt64, benchShards)
+	var id atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		s := &shards[int(id.Add(1)-1)%benchShards]
+		for pb.Next() {
+			s.Add(1)
+		}
+	})
+	var total int64
+	for i := range shards {
+		total += shards[i].Load()
+	}
+	if total != int64(b.N) {
+		b.Fatalf("count = %d, want %d", total, b.N)
+	}
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// The no-sharing guarantee is purely geometric: with a 128-byte stride
+// and 8 hot bytes at offset 0, two consecutive elements' hot words are
+// 128 bytes apart, so they straddle distinct 64-byte lines for every
+// possible (mis)alignment of the array base.
+func TestPaddedInt64Stride(t *testing.T) {
+	if s := unsafe.Sizeof(PaddedInt64{}); s != 2*CacheLine {
+		t.Fatalf("sizeof(PaddedInt64) = %d, want %d", s, 2*CacheLine)
+	}
+	var arr [4]PaddedInt64
+	for i := 1; i < len(arr); i++ {
+		gap := uintptr(unsafe.Pointer(&arr[i])) - uintptr(unsafe.Pointer(&arr[i-1]))
+		if gap < CacheLine+8 {
+			t.Fatalf("element gap %d leaves neighbours on one line", gap)
+		}
+	}
+}
+
+func TestPaddedInt64Ops(t *testing.T) {
+	var p PaddedInt64
+	if got := p.Add(5); got != 5 {
+		t.Fatalf("Add = %d, want 5", got)
+	}
+	if !p.CompareAndSwap(5, 7) {
+		t.Fatal("CAS(5, 7) failed")
+	}
+	if p.CompareAndSwap(5, 9) {
+		t.Fatal("CAS(5, 9) succeeded against 7")
+	}
+	p.Store(11)
+	if got := p.Load(); got != 11 {
+		t.Fatalf("Load = %d, want 11", got)
+	}
+}
+
+// Concurrent adds across an array of padded counters must conserve the
+// total — the whole point of striping is that per-shard totals still
+// sum exactly.
+func TestPaddedInt64Conservation(t *testing.T) {
+	const workers, perWorker = 8, 10000
+	var shards [workers]PaddedInt64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				shards[w].Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum int64
+	for i := range shards {
+		sum += shards[i].Load()
+	}
+	if sum != workers*perWorker {
+		t.Fatalf("striped sum = %d, want %d", sum, workers*perWorker)
+	}
+}
